@@ -1,0 +1,212 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (one benchmark per artifact, E1-E10 in DESIGN.md), plus
+// micro-benchmarks of the heavy primitives. Each figure benchmark
+// measures the analysis itself over a prepared environment — the
+// simulate-once cost is excluded via a shared setup — so the numbers
+// reflect the cost of the paper's methodology at reproduction scale.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package storagesubsys_test
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"storagesubsys/internal/autosupport"
+	"storagesubsys/internal/core"
+	"storagesubsys/internal/eventlog"
+	"storagesubsys/internal/experiments"
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sim"
+	"storagesubsys/internal/stats"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// env prepares a 5%-scale environment shared by the figure benchmarks.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = experiments.Setup(experiments.Config{Scale: 0.05, Seed: 42})
+	})
+	return benchEnv
+}
+
+func benchExperiment(b *testing.B, name string) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(name, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Overview regenerates Table 1 (E1).
+func BenchmarkTable1Overview(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig4AFRBreakdown regenerates Figure 4(a)(b) (E2).
+func BenchmarkFig4AFRBreakdown(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5DiskModel regenerates Figure 5(a)-(f) (E3).
+func BenchmarkFig5DiskModel(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6ShelfModel regenerates Figure 6(a)-(d) (E4).
+func BenchmarkFig6ShelfModel(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Multipath regenerates Figure 7(a)(b) (E5).
+func BenchmarkFig7Multipath(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig9Gaps regenerates Figure 9(a)(b) (E6).
+func BenchmarkFig9Gaps(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Correlation regenerates Figure 10(a)(b) (E7).
+func BenchmarkFig10Correlation(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFindings evaluates Findings 1-11 (E8).
+func BenchmarkFindings(b *testing.B) { benchExperiment(b, "findings") }
+
+// BenchmarkSpanAblation runs the shelf-spanning ablation (E9). Includes
+// two fleet rebuild + simulate cycles per iteration by design.
+func BenchmarkSpanAblation(b *testing.B) {
+	e := experiments.Setup(experiments.Config{Scale: 0.01, Seed: 42})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run("span", io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMTTDL runs the RAID correlated-vs-independent replay (E10).
+func BenchmarkMTTDL(b *testing.B) { benchExperiment(b, "mttdl") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkFleetBuild measures topology construction (~17k disks).
+func BenchmarkFleetBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fleet.BuildDefault(0.01, int64(i))
+	}
+}
+
+// BenchmarkSimulate measures a full 44-month failure simulation over
+// ~17k disks (fleet build excluded).
+func BenchmarkSimulate(b *testing.B) {
+	params := failmodel.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := fleet.BuildDefault(0.01, 42)
+		b.StartTimer()
+		sim.Run(f, params, 43)
+	}
+}
+
+// BenchmarkEmitLogs measures rendering events into message chains.
+func BenchmarkEmitLogs(b *testing.B) {
+	e := env(b)
+	em := eventlog.NewEmitter(e.Fleet)
+	events := e.Events
+	if len(events) > 2000 {
+		events = events[:2000]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.EmitAll(events)
+	}
+}
+
+// BenchmarkParseAndClassify measures the mining path over rendered text.
+func BenchmarkParseAndClassify(b *testing.B) {
+	e := env(b)
+	em := eventlog.NewEmitter(e.Fleet)
+	events := e.Events
+	if len(events) > 2000 {
+		events = events[:2000]
+	}
+	var sb strings.Builder
+	for _, m := range em.EmitAll(events) {
+		sb.WriteString(m.Render())
+		sb.WriteByte('\n')
+	}
+	text := sb.String()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msgs, _, err := eventlog.ParseLog(strings.NewReader(text))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eventlog.Classify(msgs)
+	}
+}
+
+// BenchmarkAutosupportCollect measures the weekly bundling pipeline.
+func BenchmarkAutosupportCollect(b *testing.B) {
+	f := fleet.BuildDefault(0.01, 42)
+	res := sim.Run(f, failmodel.DefaultParams(), 43)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		autosupport.Collect(f, res.Events)
+	}
+}
+
+// BenchmarkGapAnalysis measures the Figure 9 computation alone.
+func BenchmarkGapAnalysis(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Dataset.Gaps(core.ByShelf, core.Filter{})
+	}
+}
+
+// BenchmarkCorrelation measures the Figure 10 computation alone.
+func BenchmarkCorrelation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Dataset.Correlation(core.ByShelf, core.CorrelationOptions{})
+	}
+}
+
+// BenchmarkFitGamma measures gamma MLE over a 10k-point sample.
+func BenchmarkFitGamma(b *testing.B) {
+	r := stats.NewRNG(1)
+	xs := make([]float64, 10000)
+	g := stats.NewGamma(0.6, 1e7)
+	for i := range xs {
+		xs[i] = g.Sample(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.FitGamma(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitWeibull measures Weibull MLE over a 10k-point sample.
+func BenchmarkFitWeibull(b *testing.B) {
+	r := stats.NewRNG(2)
+	xs := make([]float64, 10000)
+	w := stats.NewWeibull(0.7, 1e7)
+	for i := range xs {
+		xs[i] = w.Sample(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.FitWeibull(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command fleetgen generates a synthetic AutoSupport archive on disk: a
+// fleet of storage systems, their 44-month failure history, raw support
+// logs (one text file per system), and weekly configuration snapshots
+// (JSON). cmd/analyze consumes these artifacts, demonstrating the
+// mining path on files rather than in-memory structures.
+//
+// Usage:
+//
+//	fleetgen -out /tmp/asup [-scale 0.02] [-seed 42] [-max-systems 200]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"storagesubsys/internal/autosupport"
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sim"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	scale := flag.Float64("scale", 0.02, "population scale relative to the paper's 39,000 systems")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	maxSystems := flag.Int("max-systems", 0, "write at most this many systems' logs (0 = all)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "fleetgen: -out is required")
+		os.Exit(2)
+	}
+	if err := run(*out, *scale, *seed, *maxSystems); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, seed int64, maxSystems int) error {
+	f := fleet.BuildDefault(scale, seed)
+	res := sim.Run(f, failmodel.DefaultParams(), seed+1)
+	db := autosupport.Collect(f, res.Events)
+
+	logDir := filepath.Join(out, "logs")
+	snapDir := filepath.Join(out, "snapshots")
+	for _, dir := range []string{logDir, snapDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	written := 0
+	for _, sysID := range db.Systems() {
+		if maxSystems > 0 && written >= maxSystems {
+			break
+		}
+		text := db.RenderSystemLog(sysID)
+		if text == "" {
+			continue
+		}
+		name := fmt.Sprintf("system-%06d.log", sysID)
+		if err := os.WriteFile(filepath.Join(logDir, name), []byte(text), 0o644); err != nil {
+			return err
+		}
+		// Last-week snapshot carries the system's final configuration.
+		bundles := db.Bundles(sysID)
+		snap := bundles[len(bundles)-1].Snapshot
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		snapName := fmt.Sprintf("system-%06d.json", sysID)
+		if err := os.WriteFile(filepath.Join(snapDir, snapName), data, 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+
+	systems, bundles, messages := db.Stats()
+	fmt.Printf("fleet: %d systems (%d with events), %d disks, %d events\n",
+		len(f.Systems), systems, len(f.Disks), len(res.Events))
+	fmt.Printf("wrote %d system logs (%d weekly bundles, %d messages) under %s\n",
+		written, bundles, messages, out)
+	return nil
+}

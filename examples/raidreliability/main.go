@@ -1,0 +1,55 @@
+// raidreliability: quantify what failure correlation does to RAID
+// reliability. The classic MTTDL formula assumes independent
+// exponential disk failures; this example replays a simulated fleet's
+// correlated, bursty failure history through RAID4/RAID6 group state
+// machines and compares data-loss exposure against an
+// independence-preserving shuffle of the same events — the design
+// implication of the paper's Findings 8, 10 and 11.
+//
+//	go run ./examples/raidreliability
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/raid"
+	"storagesubsys/internal/report"
+	"storagesubsys/internal/sim"
+)
+
+func main() {
+	f := fleet.BuildDefault(0.05, 3)
+	res := sim.Run(f, failmodel.DefaultParams(), 4)
+
+	const repairYears = 36.0 / 8760 // 36h replace + reconstruct
+	fmt.Println("Analytic MTTDL under the independence assumption (8-disk group, MTTF 125y, MTTR 36h):")
+	for _, rt := range []fleet.RAIDType{fleet.RAID4, fleet.RAID6} {
+		fmt.Printf("  %s: %.3g group-years\n", rt, raid.AnalyticMTTDL(8, rt, 125, repairYears))
+	}
+	fmt.Println()
+
+	observed := raid.Replay(f, res.Events, repairYears, nil)
+	shuffled := raid.IndependentBaseline(f, res.Events, repairYears, nil, 99)
+	diskOnly := func(e failmodel.Event) bool { return e.Type == failmodel.DiskFailure }
+	observedDisk := raid.Replay(f, res.Events, repairYears, diskOnly)
+	shuffledDisk := raid.IndependentBaseline(f, res.Events, repairYears, diskOnly, 100)
+
+	headers := []string{"Replay", "Losses", "Double-degraded", "Loss rate /1e6 group-years"}
+	row := func(label string, r raid.ReplayResult) []string {
+		return []string{label, fmt.Sprint(len(r.Losses)), fmt.Sprint(r.DoubleEvents),
+			report.F(r.LossRatePerGroupYear()*1e6, 1)}
+	}
+	report.Table(os.Stdout, headers, [][]string{
+		row("all failure types, correlated history", observed),
+		row("all failure types, independent shuffle", shuffled),
+		row("disk failures only, correlated history", observedDisk),
+		row("disk failures only, independent shuffle", shuffledDisk),
+	})
+
+	fmt.Println("\nThe same marginal failure rates produce far more concurrent-failure")
+	fmt.Println("exposure when arrivals are bursty: RAID designs sized by the")
+	fmt.Println("independence assumption underestimate data-loss risk.")
+}

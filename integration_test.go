@@ -1,0 +1,115 @@
+// End-to-end integration tests driving the actual command binaries:
+// fleetgen writes a raw AutoSupport archive to disk, analyze mines it
+// back, reproduce regenerates figures. These exercise the repository
+// exactly as a user would.
+package storagesubsys_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repo's commands into dir and returns the
+// binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestFleetgenAnalyzeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	fleetgen := buildCmd(t, dir, "fleetgen")
+	analyze := buildCmd(t, dir, "analyze")
+
+	asup := filepath.Join(dir, "asup")
+	out := run(t, fleetgen, "-out", asup, "-scale", "0.005", "-seed", "42")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("fleetgen output: %s", out)
+	}
+	logs, err := filepath.Glob(filepath.Join(asup, "logs", "*.log"))
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("no logs written: %v", err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(asup, "snapshots", "*.json"))
+	if len(snaps) != len(logs) {
+		t.Fatalf("%d snapshots for %d logs", len(snaps), len(logs))
+	}
+
+	// Mine the archive back with each analysis.
+	afr := run(t, analyze, "-logs", filepath.Join(asup, "logs"), "-scale", "0.005", "-seed", "42", "-exp", "afr")
+	if !strings.Contains(afr, "Near-line") || !strings.Contains(afr, "Interconnect") {
+		t.Errorf("analyze afr output:\n%s", afr)
+	}
+	if !strings.Contains(afr, "(0 unresolved)") {
+		t.Errorf("mining dropped records:\n%s", afr)
+	}
+	gaps := run(t, analyze, "-logs", filepath.Join(asup, "logs"), "-scale", "0.005", "-seed", "42", "-exp", "gaps")
+	if !strings.Contains(gaps, "per shelf") || !strings.Contains(gaps, "per RAID group") {
+		t.Errorf("analyze gaps output:\n%s", gaps)
+	}
+	classify := run(t, analyze, "-logs", filepath.Join(asup, "logs"), "-scale", "0.005", "-seed", "42", "-exp", "classify")
+	for _, needle := range []string{"Disk Failure", "Physical Interconnect Failure", "Protocol Failure", "Performance Failure"} {
+		if !strings.Contains(classify, needle) {
+			t.Errorf("classify output missing %q:\n%s", needle, classify)
+		}
+	}
+}
+
+func TestReproduceCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	reproduce := buildCmd(t, dir, "reproduce")
+
+	out := run(t, reproduce, "-scale", "0.01", "-seed", "42", "-exp", "fig4")
+	for _, needle := range []string{"excluding Disk H", "Near-line", "DiskYears"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("reproduce fig4 missing %q", needle)
+		}
+	}
+
+	// The mined pipeline must produce the identical table1.
+	direct := run(t, reproduce, "-scale", "0.01", "-seed", "42", "-exp", "table1")
+	mined := run(t, reproduce, "-scale", "0.01", "-seed", "42", "-mine", "-exp", "table1")
+	tail := func(s string) string {
+		idx := strings.Index(s, "Overview")
+		if idx < 0 {
+			t.Fatalf("no table in output:\n%s", s)
+		}
+		return s[idx:]
+	}
+	if tail(direct) != tail(mined) {
+		t.Errorf("direct vs mined table1 differ:\n%s\nvs\n%s", tail(direct), tail(mined))
+	}
+
+	// Bad flags exit non-zero.
+	if err := exec.Command(reproduce, "-scale", "-1").Run(); err == nil {
+		t.Error("negative scale must fail")
+	}
+	if err := exec.Command(reproduce, "-exp", "bogus").Run(); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+)
+
+func TestReplacementRatesArithmetic(t *testing.T) {
+	f := craftedFleet()
+	events := []failmodel.Event{
+		ev(0, f, 1000, failmodel.DiskFailure, false),
+		ev(1, f, 2000, failmodel.PhysicalInterconnect, false),
+		ev(2, f, 3000, failmodel.Protocol, false),
+		ev(3, f, 4000, failmodel.Performance, false),
+	}
+	ds := NewDataset(f, events)
+	ras := ds.ReplacementRates(Filter{})
+	var mid ReplacementAnalysis
+	for _, ra := range ras {
+		if ra.Label == "Mid-range" {
+			mid = ra
+		}
+	}
+	if mid.DiskFailures != 1 || mid.AllFailures != 4 {
+		t.Fatalf("counts: %+v", mid)
+	}
+	// User-perspective rate is 4x the true disk AFR here.
+	if math.Abs(mid.Ratio-4) > 1e-9 {
+		t.Errorf("ratio %g, want 4", mid.Ratio)
+	}
+	if mid.ReplacementRate <= mid.DiskAFR {
+		t.Error("replacement rate must exceed disk AFR")
+	}
+}
+
+func TestPerspectiveGapOnSimulatedFleet(t *testing.T) {
+	ds := dataset(t)
+	gap := ds.PerspectiveGap()
+	// The paper reconciles field replacement studies reporting 2-4x
+	// vendor AFRs: the user-perspective rate over FC classes must land
+	// in that band while the system-perspective disk AFR stays under 1%.
+	if gap.DiskAFR >= 0.011 {
+		t.Errorf("FC system-perspective disk AFR %.4f, want < ~1%%", gap.DiskAFR)
+	}
+	if gap.Ratio < 2 || gap.Ratio > 6 {
+		t.Errorf("user/system perspective ratio %.1f, want the paper's 2-4x band (some slack)", gap.Ratio)
+	}
+}
+
+func TestVendorMTTFImpliedAFR(t *testing.T) {
+	// "more than one million hours, equivalent to a lower than 1% AFR".
+	afr := VendorMTTFImpliedAFR(1e6)
+	if afr >= 0.01 || afr < 0.008 {
+		t.Errorf("1M-hour MTTF implies %.4f AFR, want just under 1%%", afr)
+	}
+	if !math.IsNaN(VendorMTTFImpliedAFR(0)) {
+		t.Error("non-positive MTTF should be NaN")
+	}
+}
+
+func TestReplacementRatesFilterBySystem(t *testing.T) {
+	f := craftedFleet()
+	events := []failmodel.Event{ev(0, f, 1000, failmodel.DiskFailure, false)}
+	ds := NewDataset(f, events)
+	onlyFC := ds.ReplacementRates(Filter{System: func(s *fleet.System) bool {
+		return s.DiskModel.Type == fleet.FC
+	}})
+	total := 0
+	for _, ra := range onlyFC {
+		total += ra.AllFailures
+	}
+	if total != 1 {
+		t.Errorf("FC filter total %d, want 1", total)
+	}
+}

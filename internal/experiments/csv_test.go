@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVs(t *testing.T) {
+	env := tinyEnv(t)
+	dir := t.TempDir()
+	files, err := env.WriteCSVs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig4.csv", "fig9_shelf.csv", "fig9_raidgroup.csv", "fig10.csv"}
+	if len(files) != len(want) {
+		t.Fatalf("wrote %d files, want %d", len(files), len(want))
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 5 {
+			t.Errorf("%s: only %d lines", name, len(lines))
+		}
+		// Every row has the header's column count.
+		cols := strings.Count(lines[0], ",") + 1
+		for i, line := range lines {
+			if strings.Count(line, ",")+1 != cols {
+				t.Errorf("%s line %d: column count mismatch", name, i)
+				break
+			}
+		}
+	}
+
+	// fig4.csv carries both variants and all classes.
+	data, _ := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	for _, needle := range []string{"including-H", "excluding-H", "Near-line", "High-end", "interconnect"} {
+		if !strings.Contains(string(data), needle) {
+			t.Errorf("fig4.csv missing %q", needle)
+		}
+	}
+	// fig10.csv covers both scopes.
+	data, _ = os.ReadFile(filepath.Join(dir, "fig10.csv"))
+	if !strings.Contains(string(data), "shelf") || !strings.Contains(string(data), "RAID group") {
+		t.Error("fig10.csv missing scopes")
+	}
+}

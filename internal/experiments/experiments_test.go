@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var cachedEnv *Env
+
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	if cachedEnv == nil {
+		cachedEnv = Setup(Config{Scale: 0.02, Seed: 42})
+	}
+	return cachedEnv
+}
+
+func TestSetupBuildsDataset(t *testing.T) {
+	env := tinyEnv(t)
+	if len(env.Fleet.Systems) == 0 || len(env.Events) == 0 {
+		t.Fatal("setup produced an empty environment")
+	}
+	if env.Dataset == nil || env.Dataset.Fleet != env.Fleet {
+		t.Fatal("dataset not wired to the fleet")
+	}
+}
+
+func TestEveryExperimentRenders(t *testing.T) {
+	env := tinyEnv(t)
+	for _, name := range Names {
+		var sb strings.Builder
+		if err := env.Run(name, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sb.String()) < 40 {
+			t.Errorf("%s: suspiciously short output: %q", name, sb.String())
+		}
+	}
+	var sb strings.Builder
+	if err := env.Run("nonsense", &sb); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunAllMentionsEveryExperiment(t *testing.T) {
+	env := tinyEnv(t)
+	var sb strings.Builder
+	env.RunAll(&sb)
+	out := sb.String()
+	for _, name := range Names {
+		if !strings.Contains(out, "== "+name+" ==") {
+			t.Errorf("RunAll output missing %s", name)
+		}
+	}
+}
+
+func TestFigureOutputsCarryPaperStructure(t *testing.T) {
+	env := tinyEnv(t)
+	var sb strings.Builder
+	if err := env.Run("fig4", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, needle := range []string{"including Disk H", "excluding Disk H", "Near-line", "High-end", "interconnect"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("fig4 output missing %q", needle)
+		}
+	}
+
+	sb.Reset()
+	if err := env.Run("fig10", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, needle := range []string{"Theoretical P(2)", "Ratio", "T= 3 months"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("fig10 output missing %q", needle)
+		}
+	}
+
+	sb.Reset()
+	if err := env.Run("fig9", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "10^4 s") || !strings.Contains(sb.String(), "chi-square GOF") {
+		t.Error("fig9 output missing gap statistics")
+	}
+}
+
+func TestMinedPipelineAgreesWithDirect(t *testing.T) {
+	direct := Setup(Config{Scale: 0.01, Seed: 7})
+	mined := Setup(Config{Scale: 0.01, Seed: 7, Mine: true})
+	if mined.MinedDropped != 0 {
+		t.Fatalf("mining dropped %d events", mined.MinedDropped)
+	}
+	// Mining sees exactly the visible events.
+	visible := 0
+	for _, e := range direct.Events {
+		if e.Visible() {
+			visible++
+		}
+	}
+	if len(mined.Events) != visible {
+		t.Fatalf("mined %d events, direct pipeline has %d visible", len(mined.Events), visible)
+	}
+	// And the headline analysis agrees between the two pipelines.
+	var a, b strings.Builder
+	if err := direct.Run("table1", &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mined.Run("table1", &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("table1 differs between direct and mined pipelines:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		t.Error("default scale out of range")
+	}
+}

@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"storagesubsys/internal/simtime"
+	"storagesubsys/internal/stats"
+)
+
+// Build constructs a fleet from the given class profiles at the given
+// population scale (1.0 = the paper's full 39,000-system population).
+// The result is fully determined by (profiles, scale, seed).
+//
+// Scale only multiplies the number of systems per class; per-system
+// structure (shelves, disks, RAID layout) is unchanged, so per-disk-year
+// statistics are scale-invariant up to sampling noise.
+func Build(profiles []ClassProfile, scale float64, seed int64) *Fleet {
+	if scale <= 0 {
+		panic("fleet: scale must be positive")
+	}
+	f := &Fleet{Seed: seed}
+	root := stats.NewRNG(seed)
+	for _, p := range profiles {
+		n := int(math.Round(float64(p.NumSystems) * scale))
+		if n < 1 {
+			n = 1
+		}
+		classRNG := root.Split("class/" + p.Class.String())
+		for i := 0; i < n; i++ {
+			buildSystem(f, p, classRNG.Split(fmt.Sprintf("sys/%d", i)))
+		}
+	}
+	return f
+}
+
+// BuildDefault builds the default four-class fleet at the given scale.
+func BuildDefault(scale float64, seed int64) *Fleet {
+	return Build(DefaultProfiles(), scale, seed)
+}
+
+func buildSystem(f *Fleet, p ClassProfile, r *stats.RNG) {
+	sysID := len(f.Systems)
+	cfg := pickConfig(p.Configs, r)
+
+	span := simtime.StudyYears()
+	lo := p.InstallWindow.Start * span
+	hi := p.InstallWindow.End * span
+	install := simtime.YearsToSeconds(lo + (hi-lo)*r.Float64())
+	if install >= simtime.StudyDuration {
+		install = simtime.StudyDuration - simtime.SecondsPerDay
+	}
+
+	paths := SinglePath
+	if r.Bernoulli(p.DualPathFraction) {
+		paths = DualPath
+	}
+
+	sys := &System{
+		ID:               sysID,
+		Class:            p.Class,
+		ShelfModel:       cfg.Shelf,
+		DiskModel:        cfg.Disk,
+		Paths:            paths,
+		Install:          install,
+		ChurnPerDiskYear: p.ChurnPerDiskYear,
+	}
+	f.Systems = append(f.Systems, sys)
+
+	numShelves := drawCount(p.ShelvesPerSystem, r)
+	for si := 0; si < numShelves; si++ {
+		shelfID := len(f.Shelves)
+		shelf := &Shelf{ID: shelfID, System: sysID, Index: si, Model: cfg.Shelf}
+		f.Shelves = append(f.Shelves, shelf)
+		sys.Shelves = append(sys.Shelves, shelfID)
+
+		numDisks := drawCount(p.DisksPerShelf, r)
+		if numDisks > MaxDisksPerShelf {
+			numDisks = MaxDisksPerShelf
+		}
+		for slot := 0; slot < numDisks; slot++ {
+			diskID := len(f.Disks)
+			d := &Disk{
+				ID:      diskID,
+				System:  sysID,
+				Shelf:   shelfID,
+				Slot:    slot,
+				RAIDGrp: -1,
+				Model:   cfg.Disk,
+				Serial:  fmt.Sprintf("S%08X", diskID),
+				Install: install,
+				Remove:  simtime.StudyDuration,
+			}
+			f.Disks = append(f.Disks, d)
+			shelf.Disks = append(shelf.Disks, diskID)
+		}
+	}
+
+	layoutRAIDGroups(f, sys, p, r)
+}
+
+// layoutRAIDGroups stripes RAID groups across shelves following the
+// paper's Figure 8: each group draws its members round-robin from a
+// window of SpanShelves consecutive shelves, so a group spans up to
+// SpanShelves enclosures and no enclosure is a single point of failure
+// for the whole group (unless SpanShelves == 1, the ablation case).
+func layoutRAIDGroups(f *Fleet, sys *System, p ClassProfile, r *stats.RNG) {
+	nShelves := len(sys.Shelves)
+	if nShelves == 0 || p.RAIDGroupSize <= 0 {
+		return
+	}
+	spanWidth := p.SpanShelves
+	if spanWidth < 1 {
+		spanWidth = 1
+	}
+	if spanWidth > nShelves {
+		spanWidth = nShelves
+	}
+
+	// Per-shelf queues of unassigned disks. A group only ever draws from
+	// the spanWidth consecutive shelves of its window, so ShelvesSpanned
+	// <= spanWidth is a hard invariant (the span=1 ablation relies on it).
+	remaining := make([][]int, nShelves)
+	for i, shelfID := range sys.Shelves {
+		remaining[i] = append([]int(nil), f.Shelves[shelfID].Disks...)
+	}
+	shelfIndexOf := make(map[int]int, len(f.Disks)) // disk ID -> shelf position
+	for i, rem := range remaining {
+		for _, id := range rem {
+			shelfIndexOf[id] = i
+		}
+	}
+
+	window := 0
+	failedWindows := 0
+	for failedWindows < nShelves {
+		// Draw members round-robin from the window's shelves only.
+		var members []int
+		for len(members) < p.RAIDGroupSize {
+			progress := false
+			for j := 0; j < spanWidth && len(members) < p.RAIDGroupSize; j++ {
+				si := (window + j) % nShelves
+				if len(remaining[si]) > 0 {
+					members = append(members, remaining[si][0])
+					remaining[si] = remaining[si][1:]
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		if len(members) < p.RAIDGroupSize {
+			// Window exhausted: return the drawn disks and slide by one.
+			for _, id := range members {
+				si := shelfIndexOf[id]
+				remaining[si] = append(remaining[si], id)
+			}
+			failedWindows++
+			window = (window + 1) % nShelves
+			continue
+		}
+		failedWindows = 0
+
+		groupID := len(f.Groups)
+		rt := RAID4
+		if r.Bernoulli(p.RAID6Fraction) {
+			rt = RAID6
+		}
+		g := &RAIDGroup{ID: groupID, System: sys.ID, Type: rt, Disks: members}
+		shelvesUsed := map[int]bool{}
+		for _, diskID := range members {
+			f.Disks[diskID].RAIDGrp = groupID
+			shelvesUsed[f.Disks[diskID].Shelf] = true
+		}
+		g.ShelvesSpanned = len(shelvesUsed)
+		f.Groups = append(f.Groups, g)
+		sys.RAIDGroups = append(sys.RAIDGroups, groupID)
+		window = (window + spanWidth) % nShelves
+	}
+}
+
+// drawCount draws an integer with the given mean, spread uniformly over
+// [ceil(mean/2), floor(3*mean/2)] (and at least 1). For fractional small
+// means it Bernoulli-rounds instead, keeping the expectation exact.
+func drawCount(mean float64, r *stats.RNG) int {
+	if mean <= 1 {
+		if r.Bernoulli(mean) {
+			return 1
+		}
+		return 1 // never build empty structures
+	}
+	lo := int(math.Ceil(mean / 2))
+	hi := int(math.Floor(mean * 3 / 2))
+	if hi <= lo {
+		// Narrow range: Bernoulli-round to keep the expectation.
+		base := int(math.Floor(mean))
+		if r.Bernoulli(mean - float64(base)) {
+			base++
+		}
+		if base < 1 {
+			base = 1
+		}
+		return base
+	}
+	n := lo + r.Intn(hi-lo+1)
+	// Bernoulli correction so E[n] tracks the fractional mean.
+	mid := float64(lo+hi) / 2
+	if frac := mean - mid; frac > 0 && r.Bernoulli(frac) {
+		n++
+	} else if frac < 0 && r.Bernoulli(-frac) && n > 1 {
+		n--
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func pickConfig(configs []ShelfConfig, r *stats.RNG) ShelfConfig {
+	if len(configs) == 0 {
+		panic("fleet: profile has no shelf configs")
+	}
+	weights := make([]float64, len(configs))
+	for i, c := range configs {
+		weights[i] = c.Weight
+	}
+	return configs[r.Categorical(weights)]
+}

@@ -1,0 +1,328 @@
+// Package fleet models the population of storage systems the paper
+// studies: four system classes, storage systems composed of shelf
+// enclosures (up to 14 disks each), disks identified by family/model,
+// RAID groups spanning shelves, and single/dual path network
+// configuration. A Fleet is the static topology plus the deployment
+// schedule; the failure simulator (internal/sim) animates it.
+package fleet
+
+import (
+	"fmt"
+
+	"storagesubsys/internal/simtime"
+)
+
+// SystemClass is the capability/usage class of a storage system, as
+// defined in the paper's Section 2.2.
+type SystemClass int
+
+// The four studied classes.
+const (
+	NearLine SystemClass = iota // secondary storage (backup), SATA disks
+	LowEnd                      // primary, embedded storage heads, FC disks
+	MidRange                    // primary, external shelves, FC disks
+	HighEnd                     // primary, external shelves, FC disks
+)
+
+// Classes lists all system classes in display order.
+var Classes = []SystemClass{NearLine, LowEnd, MidRange, HighEnd}
+
+func (c SystemClass) String() string {
+	switch c {
+	case NearLine:
+		return "Near-line"
+	case LowEnd:
+		return "Low-end"
+	case MidRange:
+		return "Mid-range"
+	case HighEnd:
+		return "High-end"
+	default:
+		return fmt.Sprintf("SystemClass(%d)", int(c))
+	}
+}
+
+// DiskType is the disk interface technology.
+type DiskType int
+
+// Disk interface technologies in the studied population.
+const (
+	SATA DiskType = iota
+	FC
+)
+
+func (t DiskType) String() string {
+	switch t {
+	case SATA:
+		return "SATA"
+	case FC:
+		return "FC"
+	default:
+		return fmt.Sprintf("DiskType(%d)", int(t))
+	}
+}
+
+// RAIDType is the resiliency scheme of a RAID group.
+type RAIDType int
+
+// RAID schemes supported by the studied systems.
+const (
+	RAID4 RAIDType = iota // single parity disk
+	RAID6                 // double parity (row-diagonal parity)
+)
+
+func (t RAIDType) String() string {
+	switch t {
+	case RAID4:
+		return "RAID4"
+	case RAID6:
+		return "RAID6"
+	default:
+		return fmt.Sprintf("RAIDType(%d)", int(t))
+	}
+}
+
+// ParityDisks returns the number of disk failures the scheme tolerates.
+func (t RAIDType) ParityDisks() int {
+	if t == RAID6 {
+		return 2
+	}
+	return 1
+}
+
+// PathConfig is the network redundancy configuration of a storage
+// subsystem: whether shelves are connected to one FC network or to two
+// independent ones (active/passive multipathing).
+type PathConfig int
+
+// Path configurations.
+const (
+	SinglePath PathConfig = iota
+	DualPath
+)
+
+func (p PathConfig) String() string {
+	if p == DualPath {
+		return "dual-path"
+	}
+	return "single-path"
+}
+
+// DiskModel identifies a disk product at a particular capacity, e.g.
+// "A-2". Family letters follow the paper's anonymized convention; the
+// capacity ordinal orders capacities within a family.
+type DiskModel struct {
+	Family   string
+	Capacity int
+	Type     DiskType
+}
+
+func (m DiskModel) String() string { return fmt.Sprintf("%s-%d", m.Family, m.Capacity) }
+
+// IsZero reports whether the model is the zero value.
+func (m DiskModel) IsZero() bool { return m.Family == "" }
+
+// ShelfModel identifies a shelf enclosure product ("A", "B", "C"). All
+// studied shelf models host at most 14 disks.
+type ShelfModel string
+
+// MaxDisksPerShelf is the slot count of every studied shelf model.
+const MaxDisksPerShelf = 14
+
+// Disk is one physical disk's residency in the fleet. When a disk fails
+// and is replaced, the replacement is a new Disk value; the paper's
+// "# Disks" counts every disk ever installed, and AFR denominators sum
+// per-disk residency time, which this representation makes exact.
+type Disk struct {
+	ID       int // fleet-unique
+	System   int // owning system ID
+	Shelf    int // fleet-unique shelf ID
+	Slot     int // 0..13 within the shelf
+	RAIDGrp  int // fleet-unique RAID group ID, -1 if spare
+	Model    DiskModel
+	Serial   string
+	Install  simtime.Seconds // when the disk entered service
+	Remove   simtime.Seconds // when it left service (StudyDuration if still present)
+	Replaced bool            // true if this residency ended with a replacement
+}
+
+// Residency returns the disk's time in service, in simulation seconds.
+func (d *Disk) Residency() simtime.Seconds {
+	if d.Remove < d.Install {
+		return 0
+	}
+	return d.Remove - d.Install
+}
+
+// ResidencyYears returns the disk's time in service in years — its
+// contribution to AFR denominators.
+func (d *Disk) ResidencyYears() float64 { return simtime.Years(d.Residency()) }
+
+// Shelf is one shelf enclosure: power, cooling, backplane and intrashelf
+// connectivity shared by the disks mounted in it.
+type Shelf struct {
+	ID     int // fleet-unique
+	System int
+	Index  int // position within the system
+	Model  ShelfModel
+	Disks  []int // fleet disk IDs currently or ever mounted, in install order
+}
+
+// RAIDGroup is a set of disks (data + parity) managed as one resiliency
+// unit. Groups may span multiple shelves (Figure 8); ShelvesSpanned
+// records how many distinct shelves hold its members.
+type RAIDGroup struct {
+	ID             int // fleet-unique
+	System         int
+	Type           RAIDType
+	Disks          []int // fleet disk IDs (original members; replacements inherit the group)
+	ShelvesSpanned int
+}
+
+// System is one deployed storage system: a set of shelves, the disks in
+// them, RAID groups laid out across the shelves, and the network
+// configuration of its storage subsystem.
+type System struct {
+	ID         int
+	Class      SystemClass
+	ShelfModel ShelfModel
+	DiskModel  DiskModel // systems are homogeneous in disk model (see DESIGN.md)
+	Paths      PathConfig
+	Install    simtime.Seconds // deployment time
+	Shelves    []int           // fleet shelf IDs
+	RAIDGroups []int           // fleet RAID group IDs
+
+	// ChurnPerDiskYear is the class's non-failure disk replacement rate,
+	// copied from the profile at build time so the simulator can apply
+	// it without re-resolving profiles.
+	ChurnPerDiskYear float64
+}
+
+// ObservedYears returns how long the system was observed within the
+// study window.
+func (s *System) ObservedYears() float64 {
+	return simtime.Years(simtime.StudyDuration - s.Install)
+}
+
+// Fleet is the full studied population. All component slices are indexed
+// by their fleet-unique IDs, so lookups are O(1) slice indexing.
+type Fleet struct {
+	Systems []*System
+	Shelves []*Shelf
+	Disks   []*Disk
+	Groups  []*RAIDGroup
+
+	// Seed is the RNG seed the fleet was built with; together with the
+	// profile set it fully determines the topology.
+	Seed int64
+}
+
+// System returns the system with the given ID.
+func (f *Fleet) System(id int) *System { return f.Systems[id] }
+
+// Shelf returns the shelf with the given ID.
+func (f *Fleet) Shelf(id int) *Shelf { return f.Shelves[id] }
+
+// Disk returns the disk with the given ID.
+func (f *Fleet) Disk(id int) *Disk { return f.Disks[id] }
+
+// Group returns the RAID group with the given ID.
+func (f *Fleet) Group(id int) *RAIDGroup { return f.Groups[id] }
+
+// AddReplacementDisk installs a replacement for failed disk, joining the
+// same system/shelf/slot/RAID group with the same model, entering
+// service at the given time. It returns the new disk's ID.
+func (f *Fleet) AddReplacementDisk(failed *Disk, at simtime.Seconds) int {
+	id := len(f.Disks)
+	nd := &Disk{
+		ID:      id,
+		System:  failed.System,
+		Shelf:   failed.Shelf,
+		Slot:    failed.Slot,
+		RAIDGrp: failed.RAIDGrp,
+		Model:   failed.Model,
+		Serial:  fmt.Sprintf("S%08X", id),
+		Install: at,
+		Remove:  simtime.StudyDuration,
+	}
+	f.Disks = append(f.Disks, nd)
+	f.Shelves[failed.Shelf].Disks = append(f.Shelves[failed.Shelf].Disks, id)
+	return id
+}
+
+// DiskYears returns the total disk residency (in years) matching the
+// filter; a nil filter sums the whole fleet. This is the AFR denominator.
+func (f *Fleet) DiskYears(filter func(*Disk) bool) float64 {
+	total := 0.0
+	for _, d := range f.Disks {
+		if filter == nil || filter(d) {
+			total += d.ResidencyYears()
+		}
+	}
+	return total
+}
+
+// CountDisks returns the number of disks ever installed that match the
+// filter; a nil filter counts the whole fleet.
+func (f *Fleet) CountDisks(filter func(*Disk) bool) int {
+	if filter == nil {
+		return len(f.Disks)
+	}
+	n := 0
+	for _, d := range f.Disks {
+		if filter(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// SystemsOfClass returns the systems in the given class.
+func (f *Fleet) SystemsOfClass(c SystemClass) []*System {
+	var out []*System
+	for _, s := range f.Systems {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the fleet population per class — the row structure of
+// the paper's Table 1.
+type Stats struct {
+	Class     SystemClass
+	Systems   int
+	Shelves   int
+	Disks     int // ever installed, matching the paper's convention
+	Groups    int
+	DualPath  int // systems configured with dual paths
+	DiskYears float64
+}
+
+// PopulationStats returns per-class population summaries in class order.
+func (f *Fleet) PopulationStats() []Stats {
+	byClass := make(map[SystemClass]*Stats)
+	for _, c := range Classes {
+		byClass[c] = &Stats{Class: c}
+	}
+	for _, s := range f.Systems {
+		st := byClass[s.Class]
+		st.Systems++
+		st.Shelves += len(s.Shelves)
+		st.Groups += len(s.RAIDGroups)
+		if s.Paths == DualPath {
+			st.DualPath++
+		}
+	}
+	for _, d := range f.Disks {
+		st := byClass[f.Systems[d.System].Class]
+		st.Disks++
+		st.DiskYears += d.ResidencyYears()
+	}
+	out := make([]Stats, 0, len(Classes))
+	for _, c := range Classes {
+		out = append(out, *byClass[c])
+	}
+	return out
+}

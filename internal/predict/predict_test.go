@@ -1,0 +1,164 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"storagesubsys/internal/eventlog"
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sim"
+	"storagesubsys/internal/stats"
+)
+
+func msg(serial string, at time.Time, tag string, sev eventlog.Severity) eventlog.Message {
+	return eventlog.Message{Time: at, Tag: tag, Severity: sev, Serial: serial, Device: "8.24"}
+}
+
+var t0 = time.Date(2004, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func TestEvaluateHitAndLeadTime(t *testing.T) {
+	cfg := Config{Window: time.Hour, Horizon: 24 * time.Hour, Threshold: 3}
+	msgs := []eventlog.Message{
+		msg("S1", t0, "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(10*time.Minute), "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(20*time.Minute), "disk.ioMediumError", eventlog.Error),
+		msg("S1", t0.Add(2*time.Hour), eventlog.TagRAIDDiskFailed, eventlog.Info),
+	}
+	eval := Evaluate(msgs, cfg)
+	if len(eval.Predictions) != 1 {
+		t.Fatalf("want 1 prediction, got %d", len(eval.Predictions))
+	}
+	p := eval.Predictions[0]
+	if !p.Hit {
+		t.Fatal("prediction should hit")
+	}
+	if p.LeadTime != 100*time.Minute {
+		t.Errorf("lead time %v, want 100m", p.LeadTime)
+	}
+	if eval.Failures != 1 || eval.Detected != 1 || eval.FalseAlarms != 0 {
+		t.Errorf("scores: %+v", eval)
+	}
+	if eval.Precision() != 1 || eval.Recall() != 1 {
+		t.Errorf("precision %g recall %g", eval.Precision(), eval.Recall())
+	}
+}
+
+func TestEvaluateWindowExpiry(t *testing.T) {
+	// Three precursors spread beyond the window must not trigger.
+	cfg := Config{Window: time.Hour, Horizon: 24 * time.Hour, Threshold: 3}
+	msgs := []eventlog.Message{
+		msg("S1", t0, "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(2*time.Hour), "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(4*time.Hour), "scsi.cmd.retry", eventlog.Warning),
+	}
+	eval := Evaluate(msgs, cfg)
+	if len(eval.Predictions) != 0 {
+		t.Fatalf("spread precursors must not predict, got %d", len(eval.Predictions))
+	}
+}
+
+func TestEvaluateFalseAlarmAndMiss(t *testing.T) {
+	cfg := Config{Window: time.Hour, Horizon: time.Hour, Threshold: 2}
+	msgs := []eventlog.Message{
+		// Disk S1: burst of precursors, failure far beyond the horizon.
+		msg("S1", t0, "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(time.Minute), "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(72*time.Hour), eventlog.TagRAIDDiskFailed, eventlog.Info),
+		// Disk S2: failure with no precursors at all (a miss).
+		msg("S2", t0, eventlog.TagRAIDDiskMissing, eventlog.Info),
+	}
+	eval := Evaluate(msgs, cfg)
+	if eval.FalseAlarms != 1 {
+		t.Errorf("false alarms %d, want 1", eval.FalseAlarms)
+	}
+	if eval.Failures != 2 || eval.Detected != 0 {
+		t.Errorf("failures %d detected %d, want 2/0", eval.Failures, eval.Detected)
+	}
+	if eval.Precision() != 0 || eval.Recall() != 0 {
+		t.Errorf("precision %g recall %g, want 0/0", eval.Precision(), eval.Recall())
+	}
+}
+
+func TestEvaluateRearmsAfterPredictionAndFailure(t *testing.T) {
+	cfg := Config{Window: time.Hour, Horizon: 24 * time.Hour, Threshold: 2}
+	msgs := []eventlog.Message{
+		msg("S1", t0, "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(time.Minute), "scsi.cmd.retry", eventlog.Warning),   // prediction 1
+		msg("S1", t0.Add(2*time.Minute), "scsi.cmd.retry", eventlog.Warning), // suppressed (disarmed)
+		msg("S1", t0.Add(time.Hour), eventlog.TagRAIDDiskFailed, eventlog.Info),
+		// After the failure the detector re-arms.
+		msg("S1", t0.Add(48*time.Hour), "scsi.cmd.retry", eventlog.Warning),
+		msg("S1", t0.Add(48*time.Hour+time.Minute), "scsi.cmd.retry", eventlog.Warning), // prediction 2
+		msg("S1", t0.Add(49*time.Hour), eventlog.TagRAIDDiskOffline, eventlog.Info),
+	}
+	eval := Evaluate(msgs, cfg)
+	if len(eval.Predictions) != 2 {
+		t.Fatalf("want 2 predictions (re-arm), got %d", len(eval.Predictions))
+	}
+	if eval.Detected != 2 {
+		t.Errorf("detected %d, want 2", eval.Detected)
+	}
+}
+
+func TestEvaluateIgnoresInfoAndSystemMessages(t *testing.T) {
+	cfg := Config{Window: time.Hour, Horizon: time.Hour, Threshold: 1}
+	msgs := []eventlog.Message{
+		msg("S1", t0, "raid.scrub.start", eventlog.Info),
+		{Time: t0, Tag: "fci.adapter.reset", Severity: eventlog.Error}, // no device/serial
+	}
+	eval := Evaluate(msgs, cfg)
+	if len(eval.Predictions) != 0 {
+		t.Error("info/system messages must not trigger predictions")
+	}
+}
+
+func TestEndToEndOnSimulatedLogs(t *testing.T) {
+	// The integration case: render a simulated fleet's logs, inject
+	// recovered transient noise, and verify the predictor achieves high
+	// recall (every failure chain carries precursors) with imperfect
+	// precision (noise bursts cause false alarms).
+	f := fleet.BuildDefault(0.01, 61)
+	res := sim.Run(f, failmodel.DefaultParams(), 62)
+	em := eventlog.NewEmitter(f)
+	msgs := em.EmitAll(res.VisibleEvents())
+	// Real logs see a couple of recovered transient errors per disk-year.
+	msgs = InjectTransientNoise(f, msgs, 2.0, stats.NewRNG(63))
+
+	cfg := Config{Window: 24 * time.Hour, Horizon: 24 * time.Hour, Threshold: 2}
+	eval := Evaluate(msgs, cfg)
+	if eval.Failures == 0 {
+		t.Fatal("expected failures in the stream")
+	}
+	if r := eval.Recall(); r < 0.9 {
+		t.Errorf("recall %g, want >= 0.9 (every chain has precursors)", r)
+	}
+	if p := eval.Precision(); p >= 1.0 {
+		t.Errorf("precision %g: injected noise should cause some false alarms", p)
+	}
+	if p := eval.Precision(); p < 0.3 {
+		t.Errorf("precision %g implausibly low for 0.05/disk-year noise", p)
+	}
+}
+
+func TestInjectTransientNoiseBounds(t *testing.T) {
+	f := fleet.BuildDefault(0.01, 64)
+	noise := InjectTransientNoise(f, nil, 0.1, stats.NewRNG(65))
+	if len(noise) == 0 {
+		t.Fatal("expected noise messages")
+	}
+	for i, m := range noise {
+		if m.Tag != "scsi.cmd.transientRetry" || m.Serial == "" {
+			t.Fatal("malformed noise message")
+		}
+		if i > 0 && m.Time.Before(noise[i-1].Time) {
+			t.Fatal("noise stream must be time-sorted")
+		}
+	}
+	// Roughly rate * disk-years messages.
+	want := 0.1 * f.DiskYears(nil)
+	got := float64(len(noise))
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("noise volume %g, want ~%g", got, want)
+	}
+}

@@ -1,0 +1,42 @@
+package raid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/simtime"
+)
+
+// Property: data-loss exposure is monotone in repair time — longer
+// repairs can only increase double-degraded windows — and RAID6 never
+// loses data where RAID4 wouldn't, for arbitrary event placements.
+func TestQuickReplayMonotonicity(t *testing.T) {
+	check := func(seed []byte) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		f4 := craftFleet(8, fleet.RAID4)
+		f6 := craftFleet(8, fleet.RAID6)
+		var events []failmodel.Event
+		for i, b := range seed {
+			at := simtime.Seconds(i+1) * 40000 % simtime.StudyDuration
+			events = append(events, event(int(b)%8, at))
+		}
+		short := Replay(f4, events, 1.0/8760, nil)  // 1h repair
+		long := Replay(f4, events, 100.0/8760, nil) // 100h repair
+		if long.DoubleEvents < short.DoubleEvents {
+			return false
+		}
+		if len(long.Losses) < len(short.Losses) {
+			return false
+		}
+		r4 := Replay(f4, events, 36.0/8760, nil)
+		r6 := Replay(f6, events, 36.0/8760, nil)
+		return len(r6.Losses) <= len(r4.Losses)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

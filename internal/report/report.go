@@ -1,0 +1,226 @@
+// Package report renders the study's tables and figures as terminal
+// text: aligned tables (Table 1), stacked-bar charts (Figures 4-7), and
+// log-x CDF plots (Figure 9), plus CSV emission for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Label string
+	Value float64
+}
+
+// Bar is one stacked bar.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// StackedBars renders a horizontal stacked-bar chart, the terminal
+// equivalent of the paper's Figure 4-7 stacked AFR plots. Values are in
+// the same unit (e.g. percent AFR); width is the character budget for
+// the largest bar.
+func StackedBars(w io.Writer, title string, bars []Bar, width int, unit string) {
+	if width <= 0 {
+		width = 60
+	}
+	fmt.Fprintln(w, title)
+	maxTotal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s.Value
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	glyphs := []byte{'#', '=', '+', '.', '~', '*'}
+	for _, b := range bars {
+		var sb strings.Builder
+		total := 0.0
+		for i, s := range b.Segments {
+			n := int(math.Round(s.Value / maxTotal * float64(width)))
+			sb.Write(bytesRepeat(glyphs[i%len(glyphs)], n))
+			total += s.Value
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.2f%s\n", maxLabel, b.Label, sb.String(), total, unit)
+	}
+	// Legend.
+	if len(bars) > 0 {
+		fmt.Fprint(w, "  legend:")
+		for i, s := range bars[0].Segments {
+			fmt.Fprintf(w, " %c=%s", glyphs[i%len(glyphs)], s.Label)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Series is one labelled (x, y) curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// CDFPlot renders curves on a log-x / linear-y character grid — the
+// shape of the paper's Figure 9 ("Empirical CDF", x = time between
+// failures in seconds, log scale).
+func CDFPlot(w io.Writer, title string, series []Series, cols, lines int) {
+	if cols <= 0 {
+		cols = 72
+	}
+	if lines <= 0 {
+		lines = 18
+	}
+	fmt.Fprintln(w, title)
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, x := range s.X {
+			if x <= 0 {
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+		}
+	}
+	if !(xmax > xmin) {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	logMin, logMax := math.Log10(xmin), math.Log10(xmax)
+	grid := make([][]byte, lines)
+	for i := range grid {
+		grid[i] = bytesRepeat(' ', cols)
+	}
+	marks := []byte{'#', 'o', '+', 'x', '*', '@'}
+	for si, s := range series {
+		for i, x := range s.X {
+			if x <= 0 || i >= len(s.Y) {
+				continue
+			}
+			cx := int((math.Log10(x) - logMin) / (logMax - logMin) * float64(cols-1))
+			cy := lines - 1 - int(s.Y[i]*float64(lines-1))
+			if cx < 0 || cx >= cols || cy < 0 || cy >= lines {
+				continue
+			}
+			grid[cy][cx] = marks[si%len(marks)]
+		}
+	}
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(lines-1)
+		fmt.Fprintf(w, "  %4.2f |%s\n", frac, string(row))
+	}
+	fmt.Fprintf(w, "       %s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(w, "       10^%.1f%s10^%.1f seconds (log scale)\n",
+		logMin, strings.Repeat(" ", maxInt(1, cols-16)), logMax)
+	fmt.Fprint(w, "  legend:")
+	for si, s := range series {
+		fmt.Fprintf(w, " %c=%s", marks[si%len(marks)], s.Label)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes rows as comma-separated values with a header. Cells
+// containing commas or quotes are quoted.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+// Pct formats a fraction as a percentage with two decimals.
+func Pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+// F formats a float compactly.
+func F(v float64, decimals int) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"Name", "Value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "23456"},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("separator missing")
+	}
+	// The Value column must start at the same offset on every row.
+	col := strings.Index(lines[0], "Value")
+	if !strings.HasPrefix(lines[2][col:], "1") || !strings.HasPrefix(lines[3][col:], "23456") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "AFR", []Bar{
+		{Label: "Near-line", Segments: []Segment{{"disk", 1.9}, {"interconnect", 0.9}}},
+		{Label: "Low-end", Segments: []Segment{{"disk", 0.9}, {"interconnect", 2.5}}},
+	}, 40, "%")
+	out := sb.String()
+	if !strings.Contains(out, "AFR") || !strings.Contains(out, "Near-line") {
+		t.Fatalf("missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "#=disk") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Bar totals rendered.
+	if !strings.Contains(out, "2.80%") || !strings.Contains(out, "3.40%") {
+		t.Errorf("totals missing:\n%s", out)
+	}
+	// The longer bar must have more glyphs.
+	nearGlyphs := strings.Count(lineContaining(out, "Near-line"), "#") + strings.Count(lineContaining(out, "Near-line"), "=")
+	lowGlyphs := strings.Count(lineContaining(out, "Low-end"), "#") + strings.Count(lineContaining(out, "Low-end"), "=")
+	if lowGlyphs <= nearGlyphs {
+		t.Errorf("bar lengths should track totals (%d vs %d)", lowGlyphs, nearGlyphs)
+	}
+}
+
+func lineContaining(out, needle string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, needle) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestCDFPlot(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{1e2, 1e3, 1e4, 1e5, 1e6}
+	ys := []float64{0.1, 0.3, 0.5, 0.8, 1.0}
+	CDFPlot(&sb, "CDF", []Series{{Label: "disk", X: xs, Y: ys}}, 60, 10)
+	out := sb.String()
+	if !strings.Contains(out, "log scale") || !strings.Contains(out, "#=disk") {
+		t.Fatalf("plot furniture missing:\n%s", out)
+	}
+	if strings.Count(out, "#") < 3 {
+		t.Errorf("too few plotted points:\n%s", out)
+	}
+	// Empty series should not panic.
+	var sb2 strings.Builder
+	CDFPlot(&sb2, "empty", nil, 0, 0)
+	if !strings.Contains(sb2.String(), "(no data)") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"a", "b"}, [][]string{
+		{"plain", "with,comma"},
+		{"with\"quote", "ok"},
+	})
+	out := sb.String()
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",ok\n"
+	if out != want {
+		t.Errorf("CSV output:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.0123) != "1.23%" {
+		t.Errorf("Pct: %s", Pct(0.0123))
+	}
+	if Pct(math.NaN()) != "n/a" {
+		t.Error("Pct NaN")
+	}
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F: %s", F(1.23456, 2))
+	}
+	if F(math.NaN(), 1) != "n/a" {
+		t.Error("F NaN")
+	}
+}

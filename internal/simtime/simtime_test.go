@@ -1,0 +1,78 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStudyWindow(t *testing.T) {
+	if StudyMonths != 44 {
+		t.Fatalf("the paper's window is 44 months, got %d", StudyMonths)
+	}
+	years := StudyYears()
+	if years < 3.6 || years > 3.7 {
+		t.Errorf("44 months should be ~3.67 years, got %g", years)
+	}
+	if StudyStart.Year() != 2004 || StudyStart.Month() != time.January {
+		t.Error("the collection window starts January 2004")
+	}
+}
+
+func TestWallRoundTrip(t *testing.T) {
+	for _, s := range []Seconds{0, 1, SecondsPerHour, SecondsPerDay, StudyDuration} {
+		if got := FromWall(ToWall(s)); got != s {
+			t.Errorf("round trip of %d gave %d", s, got)
+		}
+	}
+}
+
+func TestNextScrub(t *testing.T) {
+	cases := []struct{ in, want Seconds }{
+		{0, 0},
+		{1, SecondsPerHour},
+		{SecondsPerHour - 1, SecondsPerHour},
+		{SecondsPerHour, SecondsPerHour},
+		{SecondsPerHour + 1, 2 * SecondsPerHour},
+	}
+	for _, c := range cases {
+		if got := NextScrub(c.in); got != c.want {
+			t.Errorf("NextScrub(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: detection lag is always in [0, 1h) — the paper's "the lag
+// between the occurrence and the detection of the failure is usually
+// shorter than an hour".
+func TestQuickScrubLagBound(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := Seconds(raw)
+		lag := NextScrub(s) - s
+		return lag >= 0 && lag < SecondsPerHour
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYearsConversions(t *testing.T) {
+	if got := Years(SecondsPerYear); got != 1 {
+		t.Errorf("Years(1y) = %g", got)
+	}
+	if got := YearsToSeconds(2); got != 2*SecondsPerYear {
+		t.Errorf("YearsToSeconds(2) = %d", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-5) != 0 {
+		t.Error("negative should clamp to 0")
+	}
+	if Clamp(StudyDuration+1) != StudyDuration {
+		t.Error("overflow should clamp to StudyDuration")
+	}
+	if Clamp(100) != 100 {
+		t.Error("interior value should pass through")
+	}
+}

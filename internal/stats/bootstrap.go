@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Bootstrap computes a percentile bootstrap confidence interval for an
+// arbitrary sample statistic. It is used where the analytic intervals in
+// tests.go do not apply (e.g. the burst-fraction quantiles of Figure 9).
+//
+// resamples controls the number of bootstrap replicates; 1000 is plenty
+// for the two-digit precision the reproduction reports.
+func Bootstrap(xs []float64, statistic func([]float64) float64, resamples int, level float64, r *RNG) Interval {
+	iv := Interval{Level: level}
+	if len(xs) == 0 || resamples <= 0 {
+		iv.Center, iv.Lower, iv.Upper = math.NaN(), math.NaN(), math.NaN()
+		return iv
+	}
+	iv.Center = statistic(xs)
+	replicates := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for i := 0; i < resamples; i++ {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		replicates[i] = statistic(buf)
+	}
+	sort.Float64s(replicates)
+	alpha := (1 - level) / 2
+	iv.Lower = percentile(replicates, alpha)
+	iv.Upper = percentile(replicates, 1-alpha)
+	return iv
+}
+
+// percentile returns the p-th percentile (0..1) of a sorted sample using
+// nearest-rank interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean is a convenience statistic for Bootstrap.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// FractionBelow returns a statistic function computing the fraction of
+// the sample strictly below the threshold; used for "failures arriving
+// within 10,000 seconds of the previous failure" style numbers.
+func FractionBelow(threshold float64) func([]float64) float64 {
+	return func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return math.NaN()
+		}
+		count := 0
+		for _, x := range xs {
+			if x < threshold {
+				count++
+			}
+		}
+		return float64(count) / float64(len(xs))
+	}
+}

@@ -1,0 +1,232 @@
+// Package stats provides the statistical substrate used throughout the
+// storagesubsys reproduction: deterministic random number streams,
+// probability distributions with analytic forms and samplers, maximum
+// likelihood fitting, empirical CDFs, goodness-of-fit and hypothesis
+// tests, confidence intervals, and bootstrap resampling.
+//
+// Everything in this package is deterministic given an RNG seed, which is
+// what makes fleet simulations reproducible: a (profile, seed) pair fully
+// determines the generated failure history.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic, splittable random number stream.
+//
+// It wraps math/rand with two additions used heavily by the simulator:
+//
+//   - Split derives an independent child stream from a string label, so
+//     that per-shelf and per-disk processes draw from decoupled streams
+//     and inserting a new component does not perturb the randomness of
+//     existing ones.
+//   - Samplers for the distributions the failure models need (gamma,
+//     Weibull, lognormal, Poisson, geometric) that are not in math/rand.
+type RNG struct {
+	src  *rand.Rand
+	seed int64
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed reports the seed the stream was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Split derives an independent child stream keyed by label. The child's
+// seed is a 64-bit FNV-1a hash of the parent seed and the label, so the
+// same (seed, label) pair always yields the same child stream.
+func (r *RNG) Split(label string) *RNG {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	s := r.seed
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(s >> (8 * i)))
+		h *= prime64
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	// Avoid the degenerate all-zero seed.
+	if h == 0 {
+		h = offset64
+	}
+	return NewRNG(int64(h))
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Exponential returns an exponential variate with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exponential requires rate > 0")
+	}
+	return r.src.ExpFloat64() / rate
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// LogNormal returns a lognormal variate where the underlying normal has
+// the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Gamma returns a gamma variate with the given shape and scale using the
+// Marsaglia–Tsang squeeze method, with the standard shape<1 boost.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Gamma requires shape > 0 and scale > 0")
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1) then X * U^(1/shape) ~ Gamma(shape).
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.src.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull variate with the given shape k and scale
+// lambda via inverse-CDF sampling.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Weibull requires shape > 0 and scale > 0")
+	}
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means
+// it uses Knuth multiplication; for large means, the PTRS transformed
+// rejection method would be overkill here, so it falls back to a normal
+// approximation with continuity correction, which is accurate to well
+// under one count for mean >= 30 — far tighter than anything the failure
+// models need.
+func (r *RNG) Poisson(mean float64) int {
+	if mean < 0 {
+		panic("stats: Poisson requires mean >= 0")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Geometric returns the number of failures before the first success for
+// trials with success probability p; support {0, 1, 2, ...}.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}
+
+// Zipf-like categorical draw: Categorical returns index i with
+// probability weights[i] / sum(weights). It panics if all weights are
+// zero or any weight is negative.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: Categorical requires non-negative weights")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: Categorical requires a positive total weight")
+	}
+	u := r.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(42)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	a2 := NewRNG(42).Split("alpha")
+	// Same label: identical stream. Different label: different stream.
+	sameCount, diffCount := 0, 0
+	for i := 0; i < 50; i++ {
+		x, y, z := a.Float64(), b.Float64(), a2.Float64()
+		if x == z {
+			sameCount++
+		}
+		if x != y {
+			diffCount++
+		}
+	}
+	if sameCount != 50 {
+		t.Error("Split with the same label must reproduce the stream")
+	}
+	if diffCount < 49 {
+		t.Error("Split with different labels should decorrelate")
+	}
+}
+
+func TestRNGSplitDoesNotPerturbParent(t *testing.T) {
+	a := NewRNG(7)
+	_ = a.Split("child")
+	b := NewRNG(7)
+	_ = b.Split("other-child")
+	if a.Float64() != b.Float64() {
+		t.Error("Split must not consume parent stream state")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(1)
+	if r.Bernoulli(0) {
+		t.Error("p=0 must be false")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("p=1 must be true")
+	}
+	count := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			count++
+		}
+	}
+	if rate := float64(count) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate %g", rate)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(2)
+	for _, mean := range []float64{0.1, 1, 5, 29, 50, 200} {
+		const n = 50000
+		sum, sum2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(r.Poisson(mean))
+			sum += x
+			sum2 += x * x
+		}
+		m := sum / n
+		v := sum2/n - m*m
+		if math.Abs(m-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%g): mean %g", mean, m)
+		}
+		if math.Abs(v-mean)/mean > 0.1 {
+			t.Errorf("Poisson(%g): variance %g", mean, v)
+		}
+	}
+	if r.Poisson(0) != 0 {
+		t.Error("Poisson(0) must be 0")
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	r := NewRNG(3)
+	for _, p := range []float64{0.2, 0.5, 0.9} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		want := (1 - p) / p
+		if got := sum / n; math.Abs(got-want) > 0.05*math.Max(want, 0.2) {
+			t.Errorf("Geometric(%g): mean %g, want %g", p, got, want)
+		}
+	}
+	if r.Geometric(1) != 0 {
+		t.Error("Geometric(1) must be 0")
+	}
+}
+
+func TestCategoricalWeights(t *testing.T) {
+	r := NewRNG(4)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	r := NewRNG(5)
+	for _, weights := range [][]float64{{0, 0}, {-1, 2}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v: expected panic", weights)
+				}
+			}()
+			r.Categorical(weights)
+		}()
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	r := NewRNG(6)
+	cases := []func(){
+		func() { r.Exponential(0) },
+		func() { r.Gamma(0, 1) },
+		func() { r.Weibull(1, -1) },
+		func() { r.Poisson(-1) },
+		func() { r.Geometric(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Gamma sampler stays positive and finite for a range of
+// shapes including the boost branch (shape < 1).
+func TestQuickGammaSamplerPositive(t *testing.T) {
+	r := NewRNG(7)
+	f := func(shapeSeed, scaleSeed uint8) bool {
+		shape := 0.05 + float64(shapeSeed)/32
+		scale := 0.1 + float64(scaleSeed)/64
+		x := r.Gamma(shape, scale)
+		return x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+package stats
+
+import "math"
+
+// This file implements the special functions the distribution and test
+// code needs and that the standard library lacks: digamma, trigamma, the
+// regularized incomplete gamma functions, and the regularized incomplete
+// beta function. All are standard numerical recipes implementations with
+// accuracy far beyond what the failure analyses require.
+
+// Digamma returns the logarithmic derivative of the gamma function,
+// psi(x) = d/dx ln Gamma(x), for x > 0.
+func Digamma(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	result := 0.0
+	// Shift x up until the asymptotic series is accurate.
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion.
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv
+	result -= inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2*(1.0/240-inv2/132))))
+	return result
+}
+
+// Trigamma returns the second logarithmic derivative of the gamma
+// function, psi'(x), for x > 0.
+func Trigamma(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	result := 0.0
+	for x < 6 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	result += inv * (1 + 0.5*inv + inv2*(1.0/6-inv2*(1.0/30-inv2*(1.0/42-inv2/30))))
+	return result
+}
+
+// GammaIncP returns the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a), for a > 0, x >= 0.
+func GammaIncP(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+// GammaIncQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaIncQ(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a,x) by its power series, valid for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) by the Lentz continued
+// fraction, valid for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// BetaInc returns the regularized incomplete beta function I_x(a, b) for
+// a, b > 0 and x in [0, 1].
+func BetaInc(a, b, x float64) float64 {
+	switch {
+	case a <= 0 || b <= 0 || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function (Lentz's method).
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m < 500; m++ {
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h
+}
+
+// NormalCDF returns the standard normal cumulative distribution function
+// evaluated at z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the inverse of the standard normal CDF using the
+// Acklam rational approximation refined with one Halley step; absolute
+// error is below 1e-9 across (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
