@@ -12,6 +12,7 @@ package storagesubsys_test
 
 import (
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -99,17 +100,41 @@ func BenchmarkFleetBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulate measures a full 44-month failure simulation over
-// ~17k disks (fleet build excluded).
-func BenchmarkSimulate(b *testing.B) {
+// benchmarkSimulate measures a full 44-month failure simulation at the
+// given population scale and worker count (fleet build excluded).
+func benchmarkSimulate(b *testing.B, scale float64, workers int) {
 	params := failmodel.DefaultParams()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		f := fleet.BuildDefault(0.01, 42)
+		f := fleet.BuildDefault(scale, 42)
 		b.StartTimer()
-		sim.Run(f, params, 43)
+		sim.RunWorkers(f, params, 43, workers)
 	}
+}
+
+// BenchmarkSimulate measures the serial engine over ~17k disks.
+func BenchmarkSimulate(b *testing.B) { benchmarkSimulate(b, 0.01, 1) }
+
+// BenchmarkSimulateWorkers4 is the same run sharded over 4 workers.
+func BenchmarkSimulateWorkers4(b *testing.B) { benchmarkSimulate(b, 0.01, 4) }
+
+// BenchmarkSimulateWorkersMax shards over every available CPU.
+func BenchmarkSimulateWorkersMax(b *testing.B) { benchmarkSimulate(b, 0.01, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSimulateFullScale runs the paper's full 39,000-system /
+// ~1.8M-disk population serially — the baseline for the parallel
+// speedup target.
+func BenchmarkSimulateFullScale(b *testing.B) { benchmarkSimulate(b, 1.0, 1) }
+
+// BenchmarkSimulateFullScaleWorkers4 is the full-scale fleet over 4
+// workers; on a >= 4-core machine this is the >= 2x speedup check.
+func BenchmarkSimulateFullScaleWorkers4(b *testing.B) { benchmarkSimulate(b, 1.0, 4) }
+
+// BenchmarkSimulateFullScaleWorkersMax is the full-scale fleet sharded
+// over every available CPU.
+func BenchmarkSimulateFullScaleWorkersMax(b *testing.B) {
+	benchmarkSimulate(b, 1.0, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkEmitLogs measures rendering events into message chains.

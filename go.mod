@@ -1,0 +1,3 @@
+module storagesubsys
+
+go 1.24

@@ -31,6 +31,10 @@ type Config struct {
 	Mine bool
 	// Params overrides the default generative calibration (nil = default).
 	Params *failmodel.Params
+	// Workers is the number of simulation worker goroutines; <= 0 uses
+	// runtime.GOMAXPROCS(0). Every worker count produces bit-identical
+	// results (see sim.RunWorkers), so this only affects wall-clock.
+	Workers int
 }
 
 // DefaultConfig is the configuration cmd/reproduce uses unless told
@@ -60,7 +64,7 @@ func Setup(cfg Config) *Env {
 		params = failmodel.DefaultParams()
 	}
 	f := fleet.BuildDefault(cfg.Scale, cfg.Seed)
-	res := sim.Run(f, params, cfg.Seed+1)
+	res := sim.RunWorkers(f, params, cfg.Seed+1, cfg.Workers)
 	env := &Env{Config: cfg, Fleet: f, Params: params}
 	if cfg.Mine {
 		db := autosupport.Collect(f, res.Events)

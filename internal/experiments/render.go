@@ -288,7 +288,7 @@ func (env *Env) SpanAblation(w io.Writer) {
 			profiles[i].SpanShelves = span
 		}
 		f := fleet.Build(profiles, env.Config.Scale, env.Config.Seed)
-		res := sim.Run(f, env.Params, env.Config.Seed+1)
+		res := sim.RunWorkers(f, env.Params, env.Config.Seed+1, env.Config.Workers)
 		ds := core.NewDataset(f, res.Events)
 		g := ds.Gaps(core.ByRAIDGroup, core.Filter{})
 		spanned := 0.0

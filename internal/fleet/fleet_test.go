@@ -253,6 +253,43 @@ func TestAddReplacementDisk(t *testing.T) {
 	}
 }
 
+func TestReplacementArenaCommit(t *testing.T) {
+	f := buildSmall(t)
+	origA, origB := f.Disks[0], f.Disks[1]
+	before := len(f.Disks)
+
+	var a ReplacementArena
+	d1 := a.Add(origA, simtime.Seconds(1000))
+	d2 := a.Add(origB, simtime.Seconds(2000))
+	if d1.ID != -1 || d2.ID != -2 {
+		t.Fatalf("provisional IDs %d, %d, want -1, -2", d1.ID, d2.ID)
+	}
+	if a.Len() != 2 || a.Disk(-1) != d1 || a.Disk(-2) != d2 {
+		t.Fatal("arena lookup by provisional ID broken")
+	}
+	if len(f.Disks) != before {
+		t.Fatal("arena Add must not touch the fleet")
+	}
+
+	base := f.CommitReplacements(&a)
+	if base != before {
+		t.Fatalf("commit base %d, want %d", base, before)
+	}
+	if d1.ID != before || d2.ID != before+1 {
+		t.Fatalf("final IDs %d, %d, want %d, %d", d1.ID, d2.ID, before, before+1)
+	}
+	if f.Disks[d1.ID] != d1 || f.Disks[d2.ID] != d2 {
+		t.Fatal("committed disks not indexed by final ID")
+	}
+	if d1.Serial == "" || d1.Serial == d2.Serial {
+		t.Fatal("commit must assign fresh distinct serials")
+	}
+	shelf := f.Shelves[origA.Shelf]
+	if got := shelf.Disks[len(shelf.Disks)-1]; got != d1.ID && got != d2.ID {
+		t.Error("committed replacement not registered in its shelf")
+	}
+}
+
 func TestDiskYearsAndCounts(t *testing.T) {
 	f := buildSmall(t)
 	all := f.DiskYears(nil)

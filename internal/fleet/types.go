@@ -229,25 +229,67 @@ func (f *Fleet) Disk(id int) *Disk { return f.Disks[id] }
 // Group returns the RAID group with the given ID.
 func (f *Fleet) Group(id int) *RAIDGroup { return f.Groups[id] }
 
-// AddReplacementDisk installs a replacement for failed disk, joining the
-// same system/shelf/slot/RAID group with the same model, entering
-// service at the given time. It returns the new disk's ID.
-func (f *Fleet) AddReplacementDisk(failed *Disk, at simtime.Seconds) int {
-	id := len(f.Disks)
+// ReplacementArena accumulates replacement disks created by one
+// simulation worker without mutating the shared Fleet, so workers over
+// disjoint system shards need no synchronization. Disks receive
+// provisional negative IDs (-1, -2, ...) in creation order;
+// Fleet.CommitReplacements later assigns the final fleet-unique IDs.
+type ReplacementArena struct {
+	disks []*Disk
+}
+
+// Add records a replacement for the failed disk, joining the same
+// system/shelf/slot/RAID group with the same model, entering service at
+// the given time. The returned disk carries a provisional negative ID
+// and no serial; both are finalized by Fleet.CommitReplacements.
+func (a *ReplacementArena) Add(failed *Disk, at simtime.Seconds) *Disk {
 	nd := &Disk{
-		ID:      id,
+		ID:      -(len(a.disks) + 1),
 		System:  failed.System,
 		Shelf:   failed.Shelf,
 		Slot:    failed.Slot,
 		RAIDGrp: failed.RAIDGrp,
 		Model:   failed.Model,
-		Serial:  fmt.Sprintf("S%08X", id),
 		Install: at,
 		Remove:  simtime.StudyDuration,
 	}
-	f.Disks = append(f.Disks, nd)
-	f.Shelves[failed.Shelf].Disks = append(f.Shelves[failed.Shelf].Disks, id)
-	return id
+	a.disks = append(a.disks, nd)
+	return nd
+}
+
+// Len returns the number of replacements recorded so far.
+func (a *ReplacementArena) Len() int { return len(a.disks) }
+
+// Disk returns the arena disk with the given provisional (negative) ID.
+func (a *ReplacementArena) Disk(provisional int) *Disk { return a.disks[-provisional-1] }
+
+// CommitReplacements installs every arena disk into the fleet in
+// creation order: final IDs and serials are assigned and each disk is
+// registered with its shelf. It returns the final ID given to the
+// arena's first disk, so provisional ID -k maps to base+k-1. Committing
+// arenas in system-ID order reproduces exactly the IDs a serial
+// simulation would have assigned. An arena must be committed only once.
+func (f *Fleet) CommitReplacements(a *ReplacementArena) (base int) {
+	base = len(f.Disks)
+	for i, d := range a.disks {
+		d.ID = base + i
+		d.Serial = fmt.Sprintf("S%08X", d.ID)
+		f.Disks = append(f.Disks, d)
+		sh := f.Shelves[d.Shelf]
+		sh.Disks = append(sh.Disks, d.ID)
+	}
+	return base
+}
+
+// AddReplacementDisk installs a replacement for failed disk, joining the
+// same system/shelf/slot/RAID group with the same model, entering
+// service at the given time. It returns the new disk's ID. It is the
+// single-disk convenience form of the ReplacementArena/
+// CommitReplacements path the simulator workers use.
+func (f *Fleet) AddReplacementDisk(failed *Disk, at simtime.Seconds) int {
+	var a ReplacementArena
+	a.Add(failed, at)
+	return f.CommitReplacements(&a)
 }
 
 // DiskYears returns the total disk residency (in years) matching the

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/stats"
+)
+
+// RunWorkers simulates the fleet with the given number of worker
+// goroutines. Workers <= 0 uses runtime.GOMAXPROCS(0).
+//
+// The fleet's systems are split into contiguous shards (system-ID
+// order). Each worker simulates its shard into a private event buffer
+// and a private replacement-disk arena — per-system Poisson processes
+// draw from RNG streams split off the seed by system ID, so shard
+// boundaries never perturb the randomness. The merge phase then
+//
+//  1. commits each arena in shard order, which assigns replacement
+//     disks exactly the IDs a serial run would have,
+//  2. rewrites provisional (negative) disk IDs in the buffered events,
+//  3. k-way merges the per-worker streams, each already sorted by
+//     (time, final disk ID).
+//
+// The output is therefore bit-identical for every worker count: same
+// Result.Events, same Fleet topology, same Fleet.DiskYears.
+func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := len(f.Systems); workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	root := stats.NewRNG(seed).Split("sim")
+	initial := len(f.Disks)
+
+	ws := make([]*worker, workers)
+	var wg sync.WaitGroup
+	for i := range ws {
+		w := &worker{f: f, params: params, initial: initial}
+		ws[i] = w
+		lo := i * len(f.Systems) / workers
+		hi := (i + 1) * len(f.Systems) / workers
+		wg.Add(1)
+		go func(w *worker, systems []*fleet.System) {
+			defer wg.Done()
+			for _, sys := range systems {
+				w.simulateSystem(sys, root.Split(label("sys", sys.ID)))
+			}
+			// Sort the shard's stream by (time, eventual final disk ID);
+			// diskKey stands in for final IDs, which are not assigned
+			// yet. The stable sort keeps generation order for the
+			// (astronomically rare) same-time same-disk ties, so the
+			// order cannot depend on how systems were sharded.
+			sort.SliceStable(w.events, func(i, j int) bool {
+				a, b := w.events[i], w.events[j]
+				if a.Time != b.Time {
+					return a.Time < b.Time
+				}
+				return w.diskKey(a.Disk) < w.diskKey(b.Disk)
+			})
+		}(w, f.Systems[lo:hi])
+	}
+	wg.Wait()
+
+	// Deterministic merge. Committing arenas in shard order is the same
+	// as committing per system in ID order, because shards are
+	// contiguous and each arena is filled in system order.
+	streams := make([][]failmodel.Event, len(ws))
+	total := 0
+	for i, w := range ws {
+		base := f.CommitReplacements(&w.arena)
+		for j := range w.events {
+			if w.events[j].Disk < 0 {
+				w.events[j].Disk = base + (-w.events[j].Disk - 1)
+			}
+		}
+		streams[i] = w.events
+		total += len(w.events)
+	}
+	return &Result{Fleet: f, Events: mergeStreams(streams, total)}
+}
+
+// mergeStreams k-way merges event streams that are each sorted by
+// (Time, Disk). Streams never tie on (Time, Disk): a disk belongs to
+// exactly one system, and every system's events live in exactly one
+// stream, so the merge order is total and deterministic.
+func mergeStreams(streams [][]failmodel.Event, total int) []failmodel.Event {
+	var live [][]failmodel.Event
+	for _, s := range streams {
+		if len(s) > 0 {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+
+	// Min-heap over each live stream's head event.
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		siftDown(live, i)
+	}
+	out := make([]failmodel.Event, 0, total)
+	for {
+		out = append(out, live[0][0])
+		if rest := live[0][1:]; len(rest) > 0 {
+			live[0] = rest
+		} else {
+			live[0] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if len(live) == 1 {
+				return append(out, live[0]...)
+			}
+		}
+		siftDown(live, 0)
+	}
+}
+
+// headLess orders two streams by their head events' (Time, Disk).
+func headLess(a, b []failmodel.Event) bool {
+	if a[0].Time != b[0].Time {
+		return a[0].Time < b[0].Time
+	}
+	return a[0].Disk < b[0].Disk
+}
+
+func siftDown(h [][]failmodel.Event, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && headLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && headLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

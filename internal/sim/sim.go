@@ -11,6 +11,12 @@
 // That keeps a full-scale (1.8M disk) run in seconds while remaining
 // exactly equivalent to an event-queue implementation, because Poisson
 // thinning by slot occupancy is distribution-preserving.
+//
+// Per-system independence also makes the fleet embarrassingly parallel:
+// RunWorkers shards the systems across a worker pool (see parallel.go),
+// each worker simulating into a private event buffer and replacement
+// arena, followed by a deterministic merge. Any worker count produces
+// bit-identical results.
 package sim
 
 import (
@@ -46,23 +52,46 @@ func (r *Result) VisibleEvents() []failmodel.Event {
 	return out
 }
 
-// Run simulates the fleet under the given parameters. The result is
-// fully determined by (fleet, params, seed). The fleet is mutated (disk
-// removals and replacement installs); pass a freshly built fleet.
+// Run simulates the fleet serially (one worker) under the given
+// parameters. The result is fully determined by (fleet, params, seed).
+// The fleet is mutated (disk removals and replacement installs); pass a
+// freshly built fleet. Run(f, p, seed) is exactly RunWorkers(f, p,
+// seed, 1); any worker count yields bit-identical output.
 func Run(f *fleet.Fleet, params *failmodel.Params, seed int64) *Result {
-	res := &Result{Fleet: f}
-	root := stats.NewRNG(seed).Split("sim")
-	for _, sys := range f.Systems {
-		simulateSystem(f, sys, params, root.Split(label("sys", sys.ID)), res)
+	return RunWorkers(f, params, seed, 1)
+}
+
+// worker simulates a disjoint shard of the fleet's systems. It owns a
+// private event buffer and a private replacement-disk arena, so a shard
+// runs without any synchronization; RunWorkers renumbers and merges the
+// shards deterministically afterwards.
+type worker struct {
+	f       *fleet.Fleet
+	params  *failmodel.Params
+	initial int // len(f.Disks) before simulation; basis for diskKey
+	arena   fleet.ReplacementArena
+	events  []failmodel.Event
+}
+
+// disk resolves a disk ID: non-negative IDs index the shared fleet,
+// provisional negative IDs index this worker's arena.
+func (w *worker) disk(id int) *fleet.Disk {
+	if id >= 0 {
+		return w.f.Disks[id]
 	}
-	sort.Slice(res.Events, func(i, j int) bool {
-		a, b := res.Events[i], res.Events[j]
-		if a.Time != b.Time {
-			return a.Time < b.Time
-		}
-		return a.Disk < b.Disk
-	})
-	return res
+	return w.arena.Disk(id)
+}
+
+// diskKey maps a (possibly provisional) disk ID to a key with the same
+// relative order the IDs will have after CommitReplacements: originals
+// sort by ID, and every replacement sorts after all originals in arena
+// creation order. Sorting a shard's events by (time, diskKey) before
+// IDs are finalized therefore equals sorting by (time, final ID).
+func (w *worker) diskKey(id int) int {
+	if id >= 0 {
+		return id
+	}
+	return w.initial + (-id - 1)
 }
 
 // occupancy is one disk's residency in a slot.
@@ -74,43 +103,44 @@ type occupancy struct {
 // slotChain is the sequence of disks that occupied one physical slot.
 type slotChain []occupancy
 
-// at returns the disk occupying the slot at time t, or -1.
-func (c slotChain) at(t simtime.Seconds) int {
+// at returns the disk occupying the slot at time t, if any.
+func (c slotChain) at(t simtime.Seconds) (int, bool) {
 	for _, o := range c {
 		if t >= o.from && t < o.to {
-			return o.disk
+			return o.disk, true
 		}
 	}
-	return -1
+	return 0, false
 }
 
-func simulateSystem(f *fleet.Fleet, sys *fleet.System, p *failmodel.Params, r *stats.RNG, res *Result) {
+func (w *worker) simulateSystem(sys *fleet.System, r *stats.RNG) {
 	end := simtime.StudyDuration
 	if sys.Install >= end {
 		return
 	}
+	p := w.params
 
 	// Per-shelf slot chains, for victim lookup by the episode processes.
 	chains := make(map[int][]slotChain, len(sys.Shelves))
 
 	for _, shelfID := range sys.Shelves {
-		shelf := f.Shelves[shelfID]
+		shelf := w.f.Shelves[shelfID]
 		shelfRNG := r.Split(label("shelf", shelf.ID))
 
 		// Environment episodes shared by every disk in the shelf.
 		envTimes := poissonTimes(p.EnvEpisodeRate, sys.Install, end, shelfRNG.Split("env"))
 
 		shelfChains := make([]slotChain, len(shelf.Disks))
-		for idx, diskID := range append([]int(nil), shelf.Disks...) {
-			shelfChains[idx] = simulateSlot(f, sys, diskID, envTimes, p, shelfRNG.Split(label("slot", idx)), res)
+		for idx, diskID := range shelf.Disks {
+			shelfChains[idx] = w.simulateSlot(sys, diskID, envTimes, shelfRNG.Split(label("slot", idx)))
 		}
 		chains[shelfID] = shelfChains
 
-		simulateShelfEpisodes(f, sys, shelf, shelfChains, p, shelfRNG, res)
+		w.simulateShelfEpisodes(sys, shelf, shelfChains, shelfRNG)
 	}
 
-	simulateLoopEpisodes(f, sys, chains, p, r.Split("loop"), res)
-	simulateProtocolEpisodes(f, sys, chains, p, r.Split("proto"), res)
+	w.simulateLoopEpisodes(sys, chains, r.Split("loop"))
+	w.simulateProtocolEpisodes(sys, chains, r.Split("proto"))
 }
 
 // simulateSlot walks one slot's lifetime: the initial disk, then any
@@ -119,9 +149,10 @@ func simulateSystem(f *fleet.Fleet, sys *fleet.System, p *failmodel.Params, r *s
 // occupancy (valid because both are memoryless and replacements share
 // the failed disk's model); environment hits are per-episode Bernoulli
 // marks spread over the episode window.
-func simulateSlot(f *fleet.Fleet, sys *fleet.System, diskID int, envTimes []simtime.Seconds, p *failmodel.Params, r *stats.RNG, res *Result) slotChain {
+func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.Seconds, r *stats.RNG) slotChain {
 	end := simtime.StudyDuration
-	d := f.Disks[diskID]
+	p := w.params
+	d := w.f.Disks[diskID]
 
 	type candidate struct {
 		t    simtime.Seconds
@@ -166,7 +197,7 @@ func simulateSlot(f *fleet.Fleet, sys *fleet.System, diskID int, envTimes []simt
 					cause = failmodel.CauseDiskMechanical
 				}
 			}
-			res.Events = append(res.Events, failmodel.Event{
+			w.events = append(w.events, failmodel.Event{
 				Time:     c.t,
 				Detected: simtime.NextScrub(c.t),
 				Type:     failmodel.DiskFailure,
@@ -183,16 +214,14 @@ func simulateSlot(f *fleet.Fleet, sys *fleet.System, diskID int, envTimes []simt
 			if reinstall >= end {
 				return chain
 			}
-			newID := f.AddReplacementDisk(cur, reinstall)
-			cur = f.Disks[newID]
-			chain = append(chain, occupancy{disk: newID, from: reinstall, to: end})
+			cur = w.arena.Add(cur, reinstall)
+			chain = append(chain, occupancy{disk: cur.ID, from: reinstall, to: end})
 		case 2:
 			// Proactive churn: swap immediately, no failure event.
 			cur.Remove = c.t
 			chain[len(chain)-1].to = c.t
-			newID := f.AddReplacementDisk(cur, c.t)
-			cur = f.Disks[newID]
-			chain = append(chain, occupancy{disk: newID, from: c.t, to: end})
+			cur = w.arena.Add(cur, c.t)
+			chain = append(chain, occupancy{disk: cur.ID, from: c.t, to: end})
 		}
 	}
 	return chain
@@ -200,12 +229,13 @@ func simulateSlot(f *fleet.Fleet, sys *fleet.System, diskID int, envTimes []simt
 
 // simulateShelfEpisodes draws the interconnect and performance episode
 // processes for one shelf and emits their event bursts.
-func simulateShelfEpisodes(f *fleet.Fleet, sys *fleet.System, shelf *fleet.Shelf, chains []slotChain, p *failmodel.Params, r *stats.RNG, res *Result) {
+func (w *worker) simulateShelfEpisodes(sys *fleet.System, shelf *fleet.Shelf, chains []slotChain, r *stats.RNG) {
 	nSlots := len(chains)
 	if nSlots == 0 {
 		return
 	}
 	end := simtime.StudyDuration
+	p := w.params
 
 	// Shelf-level physical interconnect episodes (the loop-level share
 	// is generated per system by simulateLoopEpisodes).
@@ -215,8 +245,8 @@ func simulateShelfEpisodes(f *fleet.Fleet, sys *fleet.System, shelf *fleet.Shelf
 	for _, t0 := range poissonTimes(piRate, sys.Install, end, piRNG) {
 		cause := mix.Causes[piRNG.Categorical(mix.Weights)]
 		recovered := sys.Paths == fleet.DualPath && cause.PathRecoverable()
-		emitBurst(f, chains, t0, p.PIBurst.Sample(piRNG),
-			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, piRNG, res)
+		w.emitBurst(chains, t0, p.PIBurst.Sample(piRNG),
+			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, piRNG)
 	}
 
 	// Performance episodes.
@@ -227,8 +257,8 @@ func simulateShelfEpisodes(f *fleet.Fleet, sys *fleet.System, shelf *fleet.Shelf
 		if perfRNG.Bernoulli(0.4) {
 			cause = failmodel.CauseRecoveryLoad
 		}
-		emitBurst(f, chains, t0, p.PerfBurst.Sample(perfRNG),
-			p.PerfBurstGapMedian, p.PerfBurstGapSigma, cause, false, perfRNG, res)
+		w.emitBurst(chains, t0, p.PerfBurst.Sample(perfRNG),
+			p.PerfBurstGapMedian, p.PerfBurstGapSigma, cause, false, perfRNG)
 	}
 }
 
@@ -236,7 +266,8 @@ func simulateShelfEpisodes(f *fleet.Fleet, sys *fleet.System, shelf *fleet.Shelf
 // the FC network shared by all the system's shelves, whose victim disks
 // span shelves. They carry the PILoopFraction share of the class's PI
 // event rate.
-func simulateLoopEpisodes(f *fleet.Fleet, sys *fleet.System, chains map[int][]slotChain, p *failmodel.Params, r *stats.RNG, res *Result) {
+func (w *worker) simulateLoopEpisodes(sys *fleet.System, chains map[int][]slotChain, r *stats.RNG) {
+	p := w.params
 	totalSlots := 0
 	for _, shelfID := range sys.Shelves {
 		totalSlots += len(chains[shelfID])
@@ -251,14 +282,15 @@ func simulateLoopEpisodes(f *fleet.Fleet, sys *fleet.System, chains map[int][]sl
 	for _, t0 := range poissonTimes(rate, sys.Install, end, r) {
 		cause := mix.Causes[r.Categorical(mix.Weights)]
 		recovered := sys.Paths == fleet.DualPath && cause.PathRecoverable()
-		emitSystemBurst(f, sys, chains, t0, p.PIBurst.Sample(r),
-			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, r, res)
+		w.emitSystemBurst(sys, chains, t0, p.PIBurst.Sample(r),
+			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, r)
 	}
 }
 
 // simulateProtocolEpisodes draws system-level protocol episodes (driver
 // rollouts) whose victims span all the system's shelves.
-func simulateProtocolEpisodes(f *fleet.Fleet, sys *fleet.System, chains map[int][]slotChain, p *failmodel.Params, r *stats.RNG, res *Result) {
+func (w *worker) simulateProtocolEpisodes(sys *fleet.System, chains map[int][]slotChain, r *stats.RNG) {
+	p := w.params
 	totalSlots := 0
 	for _, shelfID := range sys.Shelves {
 		totalSlots += len(chains[shelfID])
@@ -273,16 +305,16 @@ func simulateProtocolEpisodes(f *fleet.Fleet, sys *fleet.System, chains map[int]
 		if r.Bernoulli(0.3) {
 			cause = failmodel.CauseFirmwareIncompat
 		}
-		emitSystemBurst(f, sys, chains, t0, p.ProtoBurst.Sample(r),
-			p.ProtoBurstGapMedian, p.ProtoBurstGapSigma, cause, false, r, res)
+		w.emitSystemBurst(sys, chains, t0, p.ProtoBurst.Sample(r),
+			p.ProtoBurstGapMedian, p.ProtoBurstGapSigma, cause, false, r)
 	}
 }
 
 // emitSystemBurst emits a burst of k events whose victims are drawn
 // uniformly over all the system's slots (possibly repeating shelves).
-func emitSystemBurst(f *fleet.Fleet, sys *fleet.System, chains map[int][]slotChain,
+func (w *worker) emitSystemBurst(sys *fleet.System, chains map[int][]slotChain,
 	t0 simtime.Seconds, k int, gapMedian simtime.Seconds, gapSigma float64,
-	cause failmodel.Cause, recovered bool, r *stats.RNG, res *Result) {
+	cause failmodel.Cause, recovered bool, r *stats.RNG) {
 
 	end := simtime.StudyDuration
 	t := t0
@@ -298,12 +330,12 @@ func emitSystemBurst(f *fleet.Fleet, sys *fleet.System, chains map[int][]slotCha
 		if len(shelfChains) == 0 {
 			continue
 		}
-		diskID := shelfChains[r.Intn(len(shelfChains))].at(t)
-		if diskID < 0 {
+		diskID, ok := shelfChains[r.Intn(len(shelfChains))].at(t)
+		if !ok {
 			continue
 		}
-		d := f.Disks[diskID]
-		res.Events = append(res.Events, failmodel.Event{
+		d := w.disk(diskID)
+		w.events = append(w.events, failmodel.Event{
 			Time:      t,
 			Detected:  simtime.NextScrub(t),
 			Type:      cause.Type(),
@@ -319,9 +351,9 @@ func emitSystemBurst(f *fleet.Fleet, sys *fleet.System, chains map[int][]slotCha
 
 // emitBurst emits a burst of k same-shelf events beginning at t0 with
 // lognormal inter-event gaps, choosing distinct victim slots.
-func emitBurst(f *fleet.Fleet, chains []slotChain, t0 simtime.Seconds, k int,
+func (w *worker) emitBurst(chains []slotChain, t0 simtime.Seconds, k int,
 	gapMedian simtime.Seconds, gapSigma float64, cause failmodel.Cause,
-	recovered bool, r *stats.RNG, res *Result) {
+	recovered bool, r *stats.RNG) {
 
 	end := simtime.StudyDuration
 	if k > len(chains) {
@@ -336,12 +368,12 @@ func emitBurst(f *fleet.Fleet, chains []slotChain, t0 simtime.Seconds, k int,
 		if t >= end {
 			break
 		}
-		diskID := chains[slot].at(t)
-		if diskID < 0 {
+		diskID, ok := chains[slot].at(t)
+		if !ok {
 			continue
 		}
-		d := f.Disks[diskID]
-		res.Events = append(res.Events, failmodel.Event{
+		d := w.disk(diskID)
+		w.events = append(w.events, failmodel.Event{
 			Time:      t,
 			Detected:  simtime.NextScrub(t),
 			Type:      cause.Type(),
@@ -383,22 +415,28 @@ func lognormalGap(median simtime.Seconds, sigma float64, r *stats.RNG) simtime.S
 	return g
 }
 
+// label formats a "prefix/id" RNG-split label without fmt overhead.
+// Negative IDs carry an explicit sign so distinct IDs never collide on
+// the same RNG stream.
 func label(prefix string, id int) string {
-	// Small allocation-free-ish label helper for RNG splitting.
-	buf := make([]byte, 0, len(prefix)+12)
+	buf := make([]byte, 0, len(prefix)+22)
 	buf = append(buf, prefix...)
 	buf = append(buf, '/')
-	if id == 0 {
-		buf = append(buf, '0')
-	} else {
-		var digits [12]byte
-		i := len(digits)
-		for id > 0 {
-			i--
-			digits[i] = byte('0' + id%10)
-			id /= 10
-		}
-		buf = append(buf, digits[i:]...)
+	u := uint64(id)
+	if id < 0 {
+		buf = append(buf, '-')
+		u = -u // two's complement negation yields the magnitude, incl. MinInt
 	}
+	var digits [20]byte
+	i := len(digits)
+	for {
+		i--
+		digits[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	buf = append(buf, digits[i:]...)
 	return string(buf)
 }

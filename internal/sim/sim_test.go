@@ -319,21 +319,37 @@ func TestSlotChainLookup(t *testing.T) {
 	cases := []struct {
 		t    simtime.Seconds
 		want int
+		ok   bool
 	}{
-		{0, 1}, {99, 1}, {100, -1}, {120, -1}, {150, 2}, {299, 2}, {300, -1},
+		{0, 1, true}, {99, 1, true}, {100, 0, false}, {120, 0, false},
+		{150, 2, true}, {299, 2, true}, {300, 0, false},
 	}
 	for _, tc := range cases {
-		if got := c.at(tc.t); got != tc.want {
-			t.Errorf("at(%d) = %d, want %d", tc.t, got, tc.want)
+		got, ok := c.at(tc.t)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("at(%d) = (%d, %v), want (%d, %v)", tc.t, got, ok, tc.want, tc.ok)
 		}
 	}
 }
 
 func TestLabelFormatting(t *testing.T) {
-	cases := map[int]string{0: "sys/0", 7: "sys/7", 42: "sys/42", 123456: "sys/123456"}
+	cases := map[int]string{
+		0: "sys/0", 7: "sys/7", 42: "sys/42", 123456: "sys/123456",
+		-1: "sys/-1", -42: "sys/-42", math.MinInt: "sys/-9223372036854775808",
+	}
 	for id, want := range cases {
 		if got := label("sys", id); got != want {
 			t.Errorf("label(sys, %d) = %q, want %q", id, got, want)
 		}
+	}
+	// Distinct negative IDs must map to distinct RNG-split labels; the
+	// old digit loop silently emitted none for id < 0.
+	seen := map[string]bool{}
+	for id := -5; id <= 5; id++ {
+		l := label("x", id)
+		if seen[l] {
+			t.Fatalf("label collision at id %d: %q", id, l)
+		}
+		seen[l] = true
 	}
 }
