@@ -90,17 +90,27 @@ func (fl Filter) admitsEvent(e failmodel.Event) bool {
 	return true
 }
 
-// selectEvents returns the filtered events.
+// selectEvents returns the filtered events. Matches are counted first
+// so the result is allocated exactly once at its final size, instead of
+// growing a worst-case copy through repeated append doublings.
 func (ds *Dataset) selectEvents(fl Filter) []failmodel.Event {
-	var out []failmodel.Event
+	admits := func(e failmodel.Event) bool {
+		return fl.admitsEvent(e) && fl.admitsSystem(ds.Fleet.Systems[e.System])
+	}
+	n := 0
 	for _, e := range ds.Events {
-		if !fl.admitsEvent(e) {
-			continue
+		if admits(e) {
+			n++
 		}
-		if !fl.admitsSystem(ds.Fleet.Systems[e.System]) {
-			continue
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]failmodel.Event, 0, n)
+	for _, e := range ds.Events {
+		if admits(e) {
+			out = append(out, e)
 		}
-		out = append(out, e)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"storagesubsys/internal/failmodel"
 	"storagesubsys/internal/fleet"
@@ -161,8 +162,25 @@ func (ds *Dataset) finding4() Finding {
 		m := labelModel[b.Label]
 		envs[m] = append(envs[m], envGroup{disk: b.AFR[failmodel.DiskFailure], total: b.TotalAFR(), years: b.DiskYears})
 	}
+	// Iterate models in a fixed order: the spread averages are float
+	// sums, so map order would leak into low-order output digits.
+	models := make([]fleet.DiskModel, 0, len(envs))
+	for m := range envs {
+		models = append(models, m)
+	}
+	sort.Slice(models, func(i, j int) bool {
+		a, b := models[i], models[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Capacity != b.Capacity {
+			return a.Capacity < b.Capacity
+		}
+		return a.Type < b.Type // total order: same family+capacity can differ in type
+	})
 	var diskSpreads, totalSpreads []float64
-	for _, gs := range envs {
+	for _, m := range models {
+		gs := envs[m]
 		if len(gs) < 2 {
 			continue
 		}

@@ -107,9 +107,19 @@ func (ds *Dataset) Gaps(scope Scope, fl Filter) *GapAnalysis {
 		byContainer[c] = append(byContainer[c], e)
 	}
 
+	// Pool gaps in container-ID order, not map order: the pooled sample
+	// feeds floating-point MLE fits, so iteration order must be pinned
+	// for whole-run output to be byte-identical across invocations.
+	containerIDs := make([]int, 0, len(byContainer))
+	for c := range byContainer {
+		containerIDs = append(containerIDs, c)
+	}
+	sort.Ints(containerIDs)
+
 	perType := make(map[failmodel.FailureType][]float64)
 	var overall []float64
-	for _, seq := range byContainer {
+	for _, c := range containerIDs {
+		seq := byContainer[c]
 		sort.Slice(seq, func(i, j int) bool { return seq[i].Detected < seq[j].Detected })
 		if len(seq) >= 2 {
 			g.Containers++

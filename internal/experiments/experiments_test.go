@@ -116,6 +116,31 @@ func TestMinedPipelineAgreesWithDirect(t *testing.T) {
 	}
 }
 
+// TestRenderedOutputByteDeterministic pins the whole-CLI contract: two
+// independent environments with the same configuration must render
+// byte-identical output for every experiment. The simulator has always
+// been bit-deterministic; this additionally locks the analysis layer,
+// whose gap-fit MLE inputs and independence shuffle once depended on
+// map iteration order.
+func TestRenderedOutputByteDeterministic(t *testing.T) {
+	render := func() string {
+		env := Setup(Config{Scale: 0.01, Seed: 5})
+		var sb strings.Builder
+		env.RunAll(&sb)
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("rendered output differs at line %d:\n  run 1: %q\n  run 2: %q", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatal("rendered output differs in length")
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	if cfg.Scale <= 0 || cfg.Scale > 1 {

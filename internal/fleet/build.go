@@ -8,6 +8,15 @@ import (
 	"storagesubsys/internal/stats"
 )
 
+// RNG stream constants for topology construction: each class and each
+// system within a class draws from a decoupled stream, so adding a
+// class or growing a class's population never perturbs the structure of
+// existing systems.
+const (
+	streamClass  uint64 = 1 // + class ordinal
+	streamSystem uint64 = 2 // + system ordinal within the class
+)
+
 // Build constructs a fleet from the given class profiles at the given
 // population scale (1.0 = the paper's full 39,000-system population).
 // The result is fully determined by (profiles, scale, seed).
@@ -26,9 +35,10 @@ func Build(profiles []ClassProfile, scale float64, seed int64) *Fleet {
 		if n < 1 {
 			n = 1
 		}
-		classRNG := root.Split("class/" + p.Class.String())
+		classRNG := root.Split(streamClass | uint64(p.Class)<<8)
 		for i := 0; i < n; i++ {
-			buildSystem(f, p, classRNG.Split(fmt.Sprintf("sys/%d", i)))
+			sysRNG := classRNG.Split(streamSystem | uint64(i)<<8)
+			buildSystem(f, p, &sysRNG)
 		}
 	}
 	return f

@@ -144,7 +144,12 @@ func Replay(f *fleet.Fleet, events []failmodel.Event, repairYears float64, inclu
 			}
 		}
 	}
-	sort.Slice(res.Losses, func(i, j int) bool { return res.Losses[i].Time < res.Losses[j].Time })
+	sort.Slice(res.Losses, func(i, j int) bool {
+		if res.Losses[i].Time != res.Losses[j].Time {
+			return res.Losses[i].Time < res.Losses[j].Time
+		}
+		return res.Losses[i].Group < res.Losses[j].Group // total order for same-time losses
+	})
 	return res
 }
 
@@ -169,9 +174,18 @@ func IndependentBaseline(f *fleet.Fleet, events []failmodel.Event, repairYears f
 		}
 		perGroup[e.Group]++
 	}
+	// Synthesize in group-ID order, not map order: every draw consumes
+	// RNG state, so iteration order would otherwise change the synthetic
+	// stream (and the ablation's counts) from run to run.
+	groupIDs := make([]int, 0, len(perGroup))
+	for id := range perGroup {
+		groupIDs = append(groupIDs, id)
+	}
+	sort.Ints(groupIDs)
 	rng := stats.NewRNG(seed)
 	var synth []failmodel.Event
-	for groupID, n := range perGroup {
+	for _, groupID := range groupIDs {
+		n := perGroup[groupID]
 		g := f.Groups[groupID]
 		sys := f.Systems[g.System]
 		span := simtime.StudyDuration - sys.Install

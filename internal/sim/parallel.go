@@ -38,7 +38,10 @@ func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers in
 		workers = 1
 	}
 
-	root := stats.NewRNG(seed).Split("sim")
+	// The root stream is shared read-only across workers: Split is a
+	// pure function of (identity, stream key), so concurrent splits are
+	// race-free and allocation-free.
+	root := stats.NewRNG(seed).Split(streamSim)
 	initial := len(f.Disks)
 
 	ws := make([]*worker, workers)
@@ -52,7 +55,8 @@ func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers in
 		go func(w *worker, systems []*fleet.System) {
 			defer wg.Done()
 			for _, sys := range systems {
-				w.simulateSystem(sys, root.Split(label("sys", sys.ID)))
+				sysRNG := root.Split(streamKey(streamSys, sys.ID))
+				w.simulateSystem(sys, &sysRNG)
 			}
 			// Sort the shard's stream by (time, eventual final disk ID);
 			// diskKey stands in for final IDs, which are not assigned

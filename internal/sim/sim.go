@@ -17,17 +17,54 @@
 // each worker simulating into a private event buffer and replacement
 // arena, followed by a deterministic merge. Any worker count produces
 // bit-identical results.
+//
+// The per-system loop is effectively zero-allocation. Randomness comes
+// from constant-size splittable stats.RNG values keyed by the typed
+// stream constants below (no per-split state arrays, no label strings),
+// and every transient slice — Poisson time draws, failure candidates,
+// slot occupancy chains, burst victim indices — lives in worker-scoped
+// scratch buffers that are recycled across systems. The only steady-
+// state allocations are the simulation's actual outputs: the event
+// buffer and the replacement-disk records.
 package sim
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"storagesubsys/internal/failmodel"
 	"storagesubsys/internal/fleet"
 	"storagesubsys/internal/simtime"
 	"storagesubsys/internal/stats"
 )
+
+// RNG stream constants. Every random process draws from a stream split
+// off the run seed by a typed integer key, so per-component processes
+// are decoupled: inserting a component (a new stream key) never
+// perturbs the randomness of existing sibling streams. Keys carrying a
+// component index are built with streamKey.
+const (
+	streamSim    uint64 = iota + 1 // root of the whole simulation
+	streamSys                      // + system ID: one stream per system
+	streamShelf                    // + shelf ID: one stream per shelf
+	streamEnv                      // shelf environment episodes
+	streamSlot                     // + slot index: one stream per slot
+	streamBase                     // per-slot baseline disk failures
+	streamEnvHit                   // per-slot environment-hit marks
+	streamChurn                    // per-slot proactive churn
+	streamCause                    // per-slot disk failure cause mix
+	streamPI                       // shelf-level interconnect episodes
+	streamPerf                     // shelf performance episodes
+	streamLoop                     // system loop-level interconnect episodes
+	streamProto                    // system protocol episodes
+)
+
+// streamKey combines a stream constant with a component index. The
+// low byte carries the stream constant and the remaining 56 bits carry
+// the index, so distinct (stream, id) pairs map to distinct keys.
+func streamKey(stream uint64, id int) uint64 {
+	return stream | uint64(id)<<8
+}
 
 // Result is a simulated failure history over a fleet.
 type Result struct {
@@ -41,9 +78,17 @@ type Result struct {
 }
 
 // VisibleEvents returns the events that surfaced as storage subsystem
-// failures (excludes multipath-recovered faults).
+// failures (excludes multipath-recovered faults). The result is sized
+// exactly — matches are counted before the single allocation — and is
+// always a fresh slice, never an alias of Events.
 func (r *Result) VisibleEvents() []failmodel.Event {
-	out := make([]failmodel.Event, 0, len(r.Events))
+	n := 0
+	for _, e := range r.Events {
+		if e.Visible() {
+			n++
+		}
+	}
+	out := make([]failmodel.Event, 0, n)
 	for _, e := range r.Events {
 		if e.Visible() {
 			out = append(out, e)
@@ -64,13 +109,23 @@ func Run(f *fleet.Fleet, params *failmodel.Params, seed int64) *Result {
 // worker simulates a disjoint shard of the fleet's systems. It owns a
 // private event buffer and a private replacement-disk arena, so a shard
 // runs without any synchronization; RunWorkers renumbers and merges the
-// shards deterministically afterwards.
+// shards deterministically afterwards. All transient per-system state
+// lives in the scratch fields, which retain their capacity across
+// systems so the steady-state simulation loop performs no allocation.
 type worker struct {
 	f       *fleet.Fleet
 	params  *failmodel.Params
 	initial int // len(f.Disks) before simulation; basis for diskKey
 	arena   fleet.ReplacementArena
 	events  []failmodel.Event
+
+	// Scratch buffers recycled across systems.
+	envTimes []simtime.Seconds // environment episode onsets (per shelf)
+	times    []simtime.Seconds // Poisson process draws (per process)
+	cands    []candidate       // slot failure/churn candidates (per slot)
+	chains   []slotChain       // flat per-slot occupancy chains (per system)
+	shelfOff []int             // chains[shelfOff[i]:shelfOff[i+1]] = shelf i's slots
+	permBuf  []int             // partial Fisher–Yates scratch (per burst)
 }
 
 // disk resolves a disk ID: non-negative IDs index the shared fleet,
@@ -113,6 +168,29 @@ func (c slotChain) at(t simtime.Seconds) (int, bool) {
 	return 0, false
 }
 
+// candidate is a prospective slot event: a failure or churn drawn from
+// one of the slot's processes, thinned later by slot occupancy.
+type candidate struct {
+	t    simtime.Seconds
+	kind int8
+}
+
+// Candidate kinds.
+const (
+	candBase  int8 = iota // baseline disk failure
+	candEnv               // environment-episode disk failure
+	candChurn             // proactive churn
+)
+
+// chainBuf returns slot i's chain buffer with length zero and retained
+// capacity, growing the flat chain arena on first use.
+func (w *worker) chainBuf(i int) slotChain {
+	for len(w.chains) <= i {
+		w.chains = append(w.chains, nil)
+	}
+	return w.chains[i][:0]
+}
+
 func (w *worker) simulateSystem(sys *fleet.System, r *stats.RNG) {
 	end := simtime.StudyDuration
 	if sys.Install >= end {
@@ -120,27 +198,35 @@ func (w *worker) simulateSystem(sys *fleet.System, r *stats.RNG) {
 	}
 	p := w.params
 
-	// Per-shelf slot chains, for victim lookup by the episode processes.
-	chains := make(map[int][]slotChain, len(sys.Shelves))
+	// Per-slot occupancy chains for the whole system, flat in shelf
+	// order, for victim lookup by the episode processes.
+	w.shelfOff = w.shelfOff[:0]
+	used := 0
 
 	for _, shelfID := range sys.Shelves {
 		shelf := w.f.Shelves[shelfID]
-		shelfRNG := r.Split(label("shelf", shelf.ID))
+		shelfRNG := r.Split(streamKey(streamShelf, shelf.ID))
 
 		// Environment episodes shared by every disk in the shelf.
-		envTimes := poissonTimes(p.EnvEpisodeRate, sys.Install, end, shelfRNG.Split("env"))
+		envRNG := shelfRNG.Split(streamEnv)
+		w.envTimes = poissonTimes(w.envTimes[:0], p.EnvEpisodeRate, sys.Install, end, &envRNG)
 
-		shelfChains := make([]slotChain, len(shelf.Disks))
+		w.shelfOff = append(w.shelfOff, used)
 		for idx, diskID := range shelf.Disks {
-			shelfChains[idx] = w.simulateSlot(sys, diskID, envTimes, shelfRNG.Split(label("slot", idx)))
+			slotRNG := shelfRNG.Split(streamKey(streamSlot, idx))
+			buf := w.chainBuf(used) // grows w.chains before the index store below
+			w.chains[used] = w.simulateSlot(sys, diskID, w.envTimes, &slotRNG, buf)
+			used++
 		}
-		chains[shelfID] = shelfChains
 
-		w.simulateShelfEpisodes(sys, shelf, shelfChains, shelfRNG)
+		w.simulateShelfEpisodes(sys, shelf, w.chains[w.shelfOff[len(w.shelfOff)-1]:used], &shelfRNG)
 	}
+	w.shelfOff = append(w.shelfOff, used)
 
-	w.simulateLoopEpisodes(sys, chains, r.Split("loop"))
-	w.simulateProtocolEpisodes(sys, chains, r.Split("proto"))
+	loopRNG := r.Split(streamLoop)
+	w.simulateLoopEpisodes(sys, used, &loopRNG)
+	protoRNG := r.Split(streamProto)
+	w.simulateProtocolEpisodes(sys, used, &protoRNG)
 }
 
 // simulateSlot walks one slot's lifetime: the initial disk, then any
@@ -148,21 +234,20 @@ func (w *worker) simulateSystem(sys *fleet.System, r *stats.RNG) {
 // and churn are Poisson processes over the whole window thinned by slot
 // occupancy (valid because both are memoryless and replacements share
 // the failed disk's model); environment hits are per-episode Bernoulli
-// marks spread over the episode window.
-func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.Seconds, r *stats.RNG) slotChain {
+// marks spread over the episode window. The returned chain reuses the
+// caller-provided buffer's storage where capacity allows.
+func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.Seconds, r *stats.RNG, chain slotChain) slotChain {
 	end := simtime.StudyDuration
 	p := w.params
 	d := w.f.Disks[diskID]
 
-	type candidate struct {
-		t    simtime.Seconds
-		kind int // 0 = baseline disk failure, 1 = env disk failure, 2 = churn
+	cands := w.cands[:0]
+	baseRNG := r.Split(streamBase)
+	w.times = poissonTimes(w.times[:0], p.DiskBaseRate(d.Model), d.Install, end, &baseRNG)
+	for _, t := range w.times {
+		cands = append(cands, candidate{t, candBase})
 	}
-	var cands []candidate
-	for _, t := range poissonTimes(p.DiskBaseRate(d.Model), d.Install, end, r.Split("base")) {
-		cands = append(cands, candidate{t, 0})
-	}
-	envRNG := r.Split("envhit")
+	envRNG := r.Split(streamEnvHit)
 	hitProb := p.EnvHitProb(d.Model)
 	for _, et := range envTimes {
 		if envRNG.Bernoulli(hitProb) {
@@ -172,26 +257,37 @@ func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.
 			// Gamma-like (Finding 8) rather than bimodal.
 			t := et + simtime.Seconds(envRNG.Gamma(0.5, float64(p.EnvSpread)))
 			if t < end {
-				cands = append(cands, candidate{t, 1})
+				cands = append(cands, candidate{t, candEnv})
 			}
 		}
 	}
-	for _, t := range poissonTimes(sys.ChurnPerDiskYear, d.Install, end, r.Split("churn")) {
-		cands = append(cands, candidate{t, 2})
+	churnRNG := r.Split(streamChurn)
+	w.times = poissonTimes(w.times[:0], sys.ChurnPerDiskYear, d.Install, end, &churnRNG)
+	for _, t := range w.times {
+		cands = append(cands, candidate{t, candChurn})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].t < cands[j].t })
+	slices.SortFunc(cands, func(a, b candidate) int {
+		if a.t < b.t {
+			return -1
+		}
+		if a.t > b.t {
+			return 1
+		}
+		return 0
+	})
+	w.cands = cands
 
-	chain := slotChain{{disk: d.ID, from: d.Install, to: end}}
+	chain = append(chain, occupancy{disk: d.ID, from: d.Install, to: end})
 	cur := d
-	causeRNG := r.Split("cause")
+	causeRNG := r.Split(streamCause)
 	for _, c := range cands {
 		if c.t < cur.Install || c.t >= end {
 			continue // slot empty (repair gap) or outside the window
 		}
 		switch c.kind {
-		case 0, 1:
+		case candBase, candEnv:
 			cause := failmodel.CauseDiskEnv
-			if c.kind == 0 {
+			if c.kind == candBase {
 				cause = failmodel.CauseDiskMedia
 				if causeRNG.Bernoulli(0.4) {
 					cause = failmodel.CauseDiskMechanical
@@ -216,7 +312,7 @@ func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.
 			}
 			cur = w.arena.Add(cur, reinstall)
 			chain = append(chain, occupancy{disk: cur.ID, from: reinstall, to: end})
-		case 2:
+		case candChurn:
 			// Proactive churn: swap immediately, no failure event.
 			cur.Remove = c.t
 			chain[len(chain)-1].to = c.t
@@ -240,25 +336,27 @@ func (w *worker) simulateShelfEpisodes(sys *fleet.System, shelf *fleet.Shelf, ch
 	// Shelf-level physical interconnect episodes (the loop-level share
 	// is generated per system by simulateLoopEpisodes).
 	piRate := p.PIEpisodeRate(sys.Class, sys.ShelfModel, sys.DiskModel, nSlots) * (1 - p.PILoopFraction)
-	piRNG := r.Split("pi")
+	piRNG := r.Split(streamPI)
 	mix := p.PICauseWeights[sys.Class]
-	for _, t0 := range poissonTimes(piRate, sys.Install, end, piRNG) {
+	w.times = poissonTimes(w.times[:0], piRate, sys.Install, end, &piRNG)
+	for _, t0 := range w.times {
 		cause := mix.Causes[piRNG.Categorical(mix.Weights)]
 		recovered := sys.Paths == fleet.DualPath && cause.PathRecoverable()
-		w.emitBurst(chains, t0, p.PIBurst.Sample(piRNG),
-			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, piRNG)
+		w.emitBurst(chains, t0, p.PIBurst.Sample(&piRNG),
+			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, &piRNG)
 	}
 
 	// Performance episodes.
 	perfRate := p.PerfRate(sys.Class, sys.DiskModel) * float64(nSlots) / p.PerfBurst.Expected()
-	perfRNG := r.Split("perf")
-	for _, t0 := range poissonTimes(perfRate, sys.Install, end, perfRNG) {
+	perfRNG := r.Split(streamPerf)
+	w.times = poissonTimes(w.times[:0], perfRate, sys.Install, end, &perfRNG)
+	for _, t0 := range w.times {
 		cause := failmodel.CauseSlowIO
 		if perfRNG.Bernoulli(0.4) {
 			cause = failmodel.CauseRecoveryLoad
 		}
-		w.emitBurst(chains, t0, p.PerfBurst.Sample(perfRNG),
-			p.PerfBurstGapMedian, p.PerfBurstGapSigma, cause, false, perfRNG)
+		w.emitBurst(chains, t0, p.PerfBurst.Sample(&perfRNG),
+			p.PerfBurstGapMedian, p.PerfBurstGapSigma, cause, false, &perfRNG)
 	}
 }
 
@@ -266,12 +364,8 @@ func (w *worker) simulateShelfEpisodes(sys *fleet.System, shelf *fleet.Shelf, ch
 // the FC network shared by all the system's shelves, whose victim disks
 // span shelves. They carry the PILoopFraction share of the class's PI
 // event rate.
-func (w *worker) simulateLoopEpisodes(sys *fleet.System, chains map[int][]slotChain, r *stats.RNG) {
+func (w *worker) simulateLoopEpisodes(sys *fleet.System, totalSlots int, r *stats.RNG) {
 	p := w.params
-	totalSlots := 0
-	for _, shelfID := range sys.Shelves {
-		totalSlots += len(chains[shelfID])
-	}
 	if totalSlots == 0 || p.PILoopFraction <= 0 {
 		return
 	}
@@ -279,40 +373,39 @@ func (w *worker) simulateLoopEpisodes(sys *fleet.System, chains map[int][]slotCh
 	rate := p.PIRate(sys.Class, sys.ShelfModel, sys.DiskModel) * float64(totalSlots) *
 		p.PILoopFraction / p.PIBurst.Expected()
 	mix := p.PICauseWeights[sys.Class]
-	for _, t0 := range poissonTimes(rate, sys.Install, end, r) {
+	w.times = poissonTimes(w.times[:0], rate, sys.Install, end, r)
+	for _, t0 := range w.times {
 		cause := mix.Causes[r.Categorical(mix.Weights)]
 		recovered := sys.Paths == fleet.DualPath && cause.PathRecoverable()
-		w.emitSystemBurst(sys, chains, t0, p.PIBurst.Sample(r),
+		w.emitSystemBurst(sys, t0, p.PIBurst.Sample(r),
 			p.PIBurstGapMedian, p.PIBurstGapSigma, cause, recovered, r)
 	}
 }
 
 // simulateProtocolEpisodes draws system-level protocol episodes (driver
 // rollouts) whose victims span all the system's shelves.
-func (w *worker) simulateProtocolEpisodes(sys *fleet.System, chains map[int][]slotChain, r *stats.RNG) {
+func (w *worker) simulateProtocolEpisodes(sys *fleet.System, totalSlots int, r *stats.RNG) {
 	p := w.params
-	totalSlots := 0
-	for _, shelfID := range sys.Shelves {
-		totalSlots += len(chains[shelfID])
-	}
 	if totalSlots == 0 {
 		return
 	}
 	end := simtime.StudyDuration
 	rate := p.ProtoRate(sys.Class, sys.DiskModel) * float64(totalSlots) / p.ProtoBurst.Expected()
-	for _, t0 := range poissonTimes(rate, sys.Install, end, r) {
+	w.times = poissonTimes(w.times[:0], rate, sys.Install, end, r)
+	for _, t0 := range w.times {
 		cause := failmodel.CauseDriverBug
 		if r.Bernoulli(0.3) {
 			cause = failmodel.CauseFirmwareIncompat
 		}
-		w.emitSystemBurst(sys, chains, t0, p.ProtoBurst.Sample(r),
+		w.emitSystemBurst(sys, t0, p.ProtoBurst.Sample(r),
 			p.ProtoBurstGapMedian, p.ProtoBurstGapSigma, cause, false, r)
 	}
 }
 
 // emitSystemBurst emits a burst of k events whose victims are drawn
-// uniformly over all the system's slots (possibly repeating shelves).
-func (w *worker) emitSystemBurst(sys *fleet.System, chains map[int][]slotChain,
+// uniformly over all the system's slots (possibly repeating shelves),
+// using the current system's chain arena (w.chains / w.shelfOff).
+func (w *worker) emitSystemBurst(sys *fleet.System,
 	t0 simtime.Seconds, k int, gapMedian simtime.Seconds, gapSigma float64,
 	cause failmodel.Cause, recovered bool, r *stats.RNG) {
 
@@ -325,8 +418,8 @@ func (w *worker) emitSystemBurst(sys *fleet.System, chains map[int][]slotChain,
 		if t >= end {
 			break
 		}
-		shelfID := sys.Shelves[r.Intn(len(sys.Shelves))]
-		shelfChains := chains[shelfID]
+		si := r.Intn(len(sys.Shelves))
+		shelfChains := w.chains[w.shelfOff[si]:w.shelfOff[si+1]]
 		if len(shelfChains) == 0 {
 			continue
 		}
@@ -350,25 +443,34 @@ func (w *worker) emitSystemBurst(sys *fleet.System, chains map[int][]slotChain,
 }
 
 // emitBurst emits a burst of k same-shelf events beginning at t0 with
-// lognormal inter-event gaps, choosing distinct victim slots.
+// lognormal inter-event gaps, choosing distinct victim slots via a
+// partial Fisher–Yates draw over a reused index buffer — only the k
+// victims are determined, never a full permutation.
 func (w *worker) emitBurst(chains []slotChain, t0 simtime.Seconds, k int,
 	gapMedian simtime.Seconds, gapSigma float64, cause failmodel.Cause,
 	recovered bool, r *stats.RNG) {
 
 	end := simtime.StudyDuration
-	if k > len(chains) {
-		k = len(chains)
+	n := len(chains)
+	if k > n {
+		k = n
 	}
-	slots := r.Perm(len(chains))[:k]
+	idx := w.permBuf[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, i)
+	}
+	w.permBuf = idx
 	t := t0
-	for i, slot := range slots {
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
 		if i > 0 {
 			t += lognormalGap(gapMedian, gapSigma, r)
 		}
 		if t >= end {
 			break
 		}
-		diskID, ok := chains[slot].at(t)
+		diskID, ok := chains[idx[i]].at(t)
 		if !ok {
 			continue
 		}
@@ -387,21 +489,22 @@ func (w *worker) emitBurst(chains []slotChain, t0 simtime.Seconds, k int,
 	}
 }
 
-// poissonTimes draws the points of a homogeneous Poisson process with
-// the given annualized rate on [from, to).
-func poissonTimes(ratePerYear float64, from, to simtime.Seconds, r *stats.RNG) []simtime.Seconds {
+// poissonTimes appends the points of a homogeneous Poisson process with
+// the given annualized rate on [from, to) to buf and returns it. Callers
+// pass a recycled worker buffer truncated to length zero, so the draw
+// allocates only when a process outgrows every earlier one.
+func poissonTimes(buf []simtime.Seconds, ratePerYear float64, from, to simtime.Seconds, r *stats.RNG) []simtime.Seconds {
 	if ratePerYear <= 0 || to <= from {
-		return nil
+		return buf
 	}
 	ratePerSecond := ratePerYear / float64(simtime.SecondsPerYear)
-	var times []simtime.Seconds
 	t := float64(from)
 	for {
 		t += r.Exponential(ratePerSecond)
 		if t >= float64(to) {
-			return times
+			return buf
 		}
-		times = append(times, simtime.Seconds(t))
+		buf = append(buf, simtime.Seconds(t))
 	}
 }
 
@@ -413,30 +516,4 @@ func lognormalGap(median simtime.Seconds, sigma float64, r *stats.RNG) simtime.S
 		g = 1
 	}
 	return g
-}
-
-// label formats a "prefix/id" RNG-split label without fmt overhead.
-// Negative IDs carry an explicit sign so distinct IDs never collide on
-// the same RNG stream.
-func label(prefix string, id int) string {
-	buf := make([]byte, 0, len(prefix)+22)
-	buf = append(buf, prefix...)
-	buf = append(buf, '/')
-	u := uint64(id)
-	if id < 0 {
-		buf = append(buf, '-')
-		u = -u // two's complement negation yields the magnitude, incl. MinInt
-	}
-	var digits [20]byte
-	i := len(digits)
-	for {
-		i--
-		digits[i] = byte('0' + u%10)
-		u /= 10
-		if u == 0 {
-			break
-		}
-	}
-	buf = append(buf, digits[i:]...)
-	return string(buf)
 }

@@ -287,7 +287,7 @@ func TestZeroRatesProduceNoEvents(t *testing.T) {
 
 func TestPoissonTimesProperties(t *testing.T) {
 	r := stats.NewRNG(14)
-	times := poissonTimes(10, 0, simtime.StudyDuration, r)
+	times := poissonTimes(nil, 10, 0, simtime.StudyDuration, r)
 	years := simtime.StudyYears()
 	want := 10 * years
 	if math.Abs(float64(len(times))-want) > 4*math.Sqrt(want) {
@@ -303,11 +303,17 @@ func TestPoissonTimesProperties(t *testing.T) {
 		}
 		prev = tt
 	}
-	if poissonTimes(0, 0, 100, r) != nil {
+	if poissonTimes(nil, 0, 0, 100, r) != nil {
 		t.Error("zero rate must produce no events")
 	}
-	if poissonTimes(5, 100, 100, r) != nil {
+	if poissonTimes(nil, 5, 100, 100, r) != nil {
 		t.Error("empty interval must produce no events")
+	}
+	// Appends into the caller's buffer without discarding its prefix.
+	buf := append([]simtime.Seconds(nil), 7)
+	got := poissonTimes(buf, 10, 0, simtime.SecondsPerYear, r)
+	if len(got) < 2 || got[0] != 7 {
+		t.Error("poissonTimes must append to the provided buffer")
 	}
 }
 
@@ -332,24 +338,71 @@ func TestSlotChainLookup(t *testing.T) {
 	}
 }
 
-func TestLabelFormatting(t *testing.T) {
-	cases := map[int]string{
-		0: "sys/0", 7: "sys/7", 42: "sys/42", 123456: "sys/123456",
-		-1: "sys/-1", -42: "sys/-42", math.MinInt: "sys/-9223372036854775808",
+func TestStreamKeyUnique(t *testing.T) {
+	// Distinct (stream, id) pairs must map to distinct split keys, and
+	// plain stream constants must never collide with keyed ones.
+	seen := map[uint64]string{}
+	record := func(k uint64, what string) {
+		t.Helper()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("stream key collision: %s and %s both map to %#x", prev, what, k)
+		}
+		seen[k] = what
 	}
-	for id, want := range cases {
-		if got := label("sys", id); got != want {
-			t.Errorf("label(sys, %d) = %q, want %q", id, got, want)
+	for _, s := range []uint64{streamSys, streamShelf, streamSlot} {
+		for id := 0; id < 100; id++ {
+			record(streamKey(s, id), "keyed")
 		}
 	}
-	// Distinct negative IDs must map to distinct RNG-split labels; the
-	// old digit loop silently emitted none for id < 0.
-	seen := map[string]bool{}
-	for id := -5; id <= 5; id++ {
-		l := label("x", id)
-		if seen[l] {
-			t.Fatalf("label collision at id %d: %q", id, l)
-		}
-		seen[l] = true
+	for _, s := range []uint64{streamSim, streamEnv, streamBase, streamEnvHit,
+		streamChurn, streamCause, streamPI, streamPerf, streamLoop, streamProto} {
+		record(s, "plain")
 	}
+}
+
+// TestSimulateSystemAllocBudget is the zero-garbage contract of the hot
+// path: once a worker's scratch buffers are warm, simulating a system
+// allocates only the simulation's actual outputs (event records and
+// replacement disks), which stay under a small fixed budget per round.
+func TestSimulateSystemAllocBudget(t *testing.T) {
+	f := fleet.BuildDefault(0.01, 17)
+	w := &worker{f: f, params: failmodel.DefaultParams(), initial: len(f.Disks)}
+	root := stats.NewRNG(18).Split(streamSim)
+
+	// Warm-up: size every scratch buffer and the event slice.
+	for _, sys := range f.Systems {
+		sysRNG := root.Split(streamKey(streamSys, sys.ID))
+		w.simulateSystem(sys, &sysRNG)
+	}
+	events := w.events[:0]
+
+	sys := f.Systems[len(f.Systems)/2]
+	allocs := testing.AllocsPerRun(100, func() {
+		w.events = events
+		w.arena = fleet.ReplacementArena{}
+		sysRNG := root.Split(streamKey(streamSys, sys.ID))
+		w.simulateSystem(sys, &sysRNG)
+	})
+	// Resetting the arena above makes each replacement cost one Disk
+	// record plus slice regrowth — genuine output, not loop garbage. A
+	// typical system sees at most a handful of replacements.
+	const budget = 16
+	if allocs > budget {
+		t.Errorf("simulateSystem allocated %.1f times per round, budget %d", allocs, budget)
+	}
+}
+
+// TestRNGSplitZeroAlloc pins the tentpole property at the call site the
+// simulator depends on: splitting a stream costs nothing.
+func TestRNGSplitZeroAlloc(t *testing.T) {
+	root := stats.NewRNG(1).Split(streamSim)
+	var sink uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		c := root.Split(streamKey(streamSys, 12345))
+		g := c.Split(streamKey(streamShelf, 7))
+		sink += g.Uint64()
+	}); n != 0 {
+		t.Fatalf("RNG.Split allocated %v times per run, want 0", n)
+	}
+	_ = sink
 }
