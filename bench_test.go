@@ -92,13 +92,33 @@ func BenchmarkMTTDL(b *testing.B) { benchExperiment(b, "mttdl") }
 
 // --- substrate micro-benchmarks ---
 
-// BenchmarkFleetBuild measures topology construction (~17k disks).
-func BenchmarkFleetBuild(b *testing.B) {
+// benchmarkBuild measures topology construction at the given population
+// scale and worker count.
+func benchmarkBuild(b *testing.B, scale float64, workers int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		fleet.BuildDefault(0.01, int64(i))
+		fleet.BuildDefaultWorkers(scale, 42, workers)
 	}
 }
+
+// BenchmarkFleetBuild measures serial topology construction (~17k disks).
+func BenchmarkFleetBuild(b *testing.B) { benchmarkBuild(b, 0.01, 1) }
+
+// BenchmarkFleetBuildWorkersMax is the same build sharded over every
+// available CPU.
+func BenchmarkFleetBuildWorkersMax(b *testing.B) { benchmarkBuild(b, 0.01, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkBuildFullScale constructs the paper's full 39,000-system /
+// ~1.7M-disk population serially — the PR 3 wall-clock and allocs/op
+// target (BENCH_PR3.json); the legacy builder took minutes here.
+func BenchmarkBuildFullScale(b *testing.B) { benchmarkBuild(b, 1.0, 1) }
+
+// BenchmarkBuildFullScaleWorkers4 is the full-scale build over 4 workers.
+func BenchmarkBuildFullScaleWorkers4(b *testing.B) { benchmarkBuild(b, 1.0, 4) }
+
+// BenchmarkBuildFullScaleWorkersMax is the full-scale build sharded over
+// every available CPU.
+func BenchmarkBuildFullScaleWorkersMax(b *testing.B) { benchmarkBuild(b, 1.0, runtime.GOMAXPROCS(0)) }
 
 // benchmarkSimulate measures a full 44-month failure simulation at the
 // given population scale and worker count (fleet build excluded).

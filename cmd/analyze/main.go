@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	analyze -logs /tmp/asup/logs [-scale 0.02] [-seed 42] [-exp afr|gaps|classify]
+//	analyze -logs /tmp/asup/logs [-scale 0.02] [-seed 42] [-workers N] [-exp afr|gaps|classify]
 //
 // The fleet topology is rebuilt deterministically from (scale, seed),
 // which must match the fleetgen invocation; real deployments would load
 // the snapshot JSON instead, but the serial-number join is identical.
+// -workers only affects rebuild wall-clock, never the topology, so it
+// need not match the fleetgen invocation.
 package main
 
 import (
@@ -31,19 +33,20 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "fleet scale used by fleetgen")
 	seed := flag.Int64("seed", 42, "fleet seed used by fleetgen")
 	exp := flag.String("exp", "afr", "analysis: afr, gaps, classify")
+	workers := flag.Int("workers", 0, "fleet rebuild + replay worker goroutines (0 = all CPUs; any value yields identical output)")
 	flag.Parse()
 
 	if *logs == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -logs is required")
 		os.Exit(2)
 	}
-	if err := run(*logs, *scale, *seed, *exp); err != nil {
+	if err := run(*logs, *scale, *seed, *exp, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(logDir string, scale float64, seed int64, exp string) error {
+func run(logDir string, scale float64, seed int64, exp string, workers int) error {
 	paths, err := filepath.Glob(filepath.Join(logDir, "*.log"))
 	if err != nil {
 		return err
@@ -58,8 +61,8 @@ func run(logDir string, scale float64, seed int64, exp string) error {
 	// population includes the replacement disks whose serials appear in
 	// the logs; a real deployment would load the snapshot JSON instead,
 	// but the serial-number join is identical.
-	f := fleet.BuildDefault(scale, seed)
-	sim.Run(f, failmodel.DefaultParams(), seed+1)
+	f := fleet.BuildDefaultWorkers(scale, seed, workers)
+	sim.RunWorkers(f, failmodel.DefaultParams(), seed+1, workers)
 	rv := eventlog.NewResolver(f)
 
 	var events []failmodel.Event

@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	fleetgen -out /tmp/asup [-scale 0.02] [-seed 42] [-max-systems 200]
+//	fleetgen -out /tmp/asup [-scale 0.02] [-seed 42] [-max-systems 200] [-workers N]
+//	fleetgen -build-only [-scale 1.0] [-seed 42] [-workers N]
+//
+// -build-only constructs the fleet topology, prints its population
+// counts, and exits without simulating or writing any files — the
+// full-scale CI smoke uses it to assert that the paper's ~39,000-system
+// population builds in seconds with deterministic counts. -workers
+// shards fleet construction and simulation across a worker pool
+// (default: one per CPU); every worker count yields identical output.
 package main
 
 import (
@@ -23,25 +31,33 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "", "output directory (required)")
+	out := flag.String("out", "", "output directory (required unless -build-only)")
 	scale := flag.Float64("scale", 0.02, "population scale relative to the paper's 39,000 systems")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	maxSystems := flag.Int("max-systems", 0, "write at most this many systems' logs (0 = all)")
+	workers := flag.Int("workers", 0, "fleet build + simulation worker goroutines (0 = all CPUs; any value yields identical output)")
+	buildOnly := flag.Bool("build-only", false, "build the fleet, print population counts, and exit")
 	flag.Parse()
 
+	if *buildOnly {
+		f := fleet.BuildDefaultWorkers(*scale, *seed, *workers)
+		fmt.Printf("fleet: %d systems, %d shelves, %d disks, %d RAID groups (scale %g, seed %d)\n",
+			len(f.Systems), len(f.Shelves), len(f.Disks), len(f.Groups), *scale, *seed)
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "fleetgen: -out is required")
 		os.Exit(2)
 	}
-	if err := run(*out, *scale, *seed, *maxSystems); err != nil {
+	if err := run(*out, *scale, *seed, *maxSystems, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale float64, seed int64, maxSystems int) error {
-	f := fleet.BuildDefault(scale, seed)
-	res := sim.Run(f, failmodel.DefaultParams(), seed+1)
+func run(out string, scale float64, seed int64, maxSystems, workers int) error {
+	f := fleet.BuildDefaultWorkers(scale, seed, workers)
+	res := sim.RunWorkers(f, failmodel.DefaultParams(), seed+1, workers)
 	db := autosupport.Collect(f, res.Events)
 
 	logDir := filepath.Join(out, "logs")

@@ -9,9 +9,10 @@
 //
 // At -scale 1.0 the full 39,000-system / ~1.8M-disk population is
 // rebuilt; the default quarter scale reproduces every statistical
-// conclusion in seconds. -workers shards the simulation across a worker
-// pool (default: one per available CPU); every worker count produces
-// bit-identical results. -mine routes events through the AutoSupport
+// conclusion in seconds. -workers shards both fleet construction and
+// the simulation across a worker pool (default: one per available CPU);
+// every worker count produces bit-identical results. -mine routes
+// events through the AutoSupport
 // log-rendering + parsing + classification pipeline instead of using
 // simulator output directly.
 package main
@@ -30,7 +31,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "population scale relative to the paper's 39,000 systems")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "simulation seed")
-	flag.IntVar(&cfg.Workers, "workers", runtime.GOMAXPROCS(0), "simulation worker goroutines (any value yields identical results)")
+	flag.IntVar(&cfg.Workers, "workers", runtime.GOMAXPROCS(0), "fleet build + simulation worker goroutines (any value yields identical results)")
 	flag.BoolVar(&cfg.Mine, "mine", cfg.Mine, "recover events from rendered raw logs (slower, exercises the full pipeline)")
 	exp := flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
 	csvDir := flag.String("csv", "", "also write machine-readable figure CSVs to this directory")

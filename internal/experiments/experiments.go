@@ -31,9 +31,11 @@ type Config struct {
 	Mine bool
 	// Params overrides the default generative calibration (nil = default).
 	Params *failmodel.Params
-	// Workers is the number of simulation worker goroutines; <= 0 uses
-	// runtime.GOMAXPROCS(0). Every worker count produces bit-identical
-	// results (see sim.RunWorkers), so this only affects wall-clock.
+	// Workers is the number of worker goroutines used for both fleet
+	// construction and simulation; <= 0 uses runtime.GOMAXPROCS(0).
+	// Every worker count produces bit-identical results (see
+	// fleet.BuildWorkers and sim.RunWorkers), so this only affects
+	// wall-clock.
 	Workers int
 }
 
@@ -63,7 +65,7 @@ func Setup(cfg Config) *Env {
 	if params == nil {
 		params = failmodel.DefaultParams()
 	}
-	f := fleet.BuildDefault(cfg.Scale, cfg.Seed)
+	f := fleet.BuildDefaultWorkers(cfg.Scale, cfg.Seed, cfg.Workers)
 	res := sim.RunWorkers(f, params, cfg.Seed+1, cfg.Workers)
 	env := &Env{Config: cfg, Fleet: f, Params: params}
 	if cfg.Mine {

@@ -176,10 +176,15 @@ func TestSingleShelfSpanAblation(t *testing.T) {
 	for i := range profiles {
 		profiles[i].SpanShelves = 1
 	}
-	f := Build(profiles, 0.01, 42)
-	for _, g := range f.Groups {
-		if g.ShelvesSpanned != 1 {
-			t.Fatalf("group %d spans %d shelves under span=1", g.ID, g.ShelvesSpanned)
+	// The span invariant must hold no matter how construction is
+	// sharded: a group only draws from its window's shelves.
+	for _, workers := range []int{1, 4} {
+		f := BuildWorkers(profiles, 0.01, 42, workers)
+		for _, g := range f.Groups {
+			if g.ShelvesSpanned != 1 {
+				t.Fatalf("workers=%d: group %d spans %d shelves under span=1",
+					workers, g.ID, g.ShelvesSpanned)
+			}
 		}
 	}
 }

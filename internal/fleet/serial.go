@@ -1,0 +1,44 @@
+package fleet
+
+// Disk serials are "S" followed by the disk's fleet ID in uppercase hex,
+// zero-padded to at least 8 digits — the historical fmt.Sprintf("S%08X",
+// id) format, produced here by a fixed-width encoder so the build and
+// replacement paths never pay fmt's reflection overhead (per-disk
+// Sprintf was a measurable slice of full-scale fleet construction).
+
+const serialHexDigits = "0123456789ABCDEF"
+
+// serialLen returns len(serialFor(id)): 1 for the "S" prefix plus the
+// zero-padded hex width. IDs below 2^32 — every fleet built at any
+// feasible scale — encode in exactly 9 bytes; wider IDs widen the field
+// just as %X would.
+func serialLen(id int) int {
+	n := 1
+	for v := uint64(id); v > 0xF; v >>= 4 {
+		n++
+	}
+	if n < 8 {
+		n = 8
+	}
+	return n + 1
+}
+
+// appendSerial appends the serial for the given non-negative disk ID to
+// dst and returns the extended slice. It allocates only if dst lacks
+// capacity.
+func appendSerial(dst []byte, id int) []byte {
+	digits := serialLen(id) - 1
+	dst = append(dst, 'S')
+	for i := digits - 1; i >= 0; i-- {
+		dst = append(dst, serialHexDigits[(uint64(id)>>(4*uint(i)))&0xF])
+	}
+	return dst
+}
+
+// serialFor returns the serial string for one disk ID. Bulk paths
+// (buildArena.splice) pack all serials into a single shared string
+// instead; this form is for one-off replacements.
+func serialFor(id int) string {
+	var buf [24]byte
+	return string(appendSerial(buf[:0], id))
+}

@@ -4,6 +4,18 @@
 // RAID groups spanning shelves, and single/dual path network
 // configuration. A Fleet is the static topology plus the deployment
 // schedule; the failure simulator (internal/sim) animates it.
+//
+// Construction is parallel and allocation-lean. Every (class, system)
+// pair draws from an RNG stream split off the seed by (class, system
+// ordinal), so BuildWorkers shards system construction across a worker
+// pool: each worker fills a private arena of value slabs wired by local
+// indices (no per-component pointer allocations, RAID layout over
+// recycled scratch, serials packed into one string per arena), and the
+// arenas are renumbered and spliced in shard order — bit-identical
+// output for any worker count. The paper's full ~39,000-system / ~1.7M-
+// disk population builds in well under a second per core with a small
+// constant number of allocations (BENCH_PR3.json; the legacy serial
+// builder took minutes and ~95M allocations).
 package fleet
 
 import (
@@ -273,7 +285,7 @@ func (f *Fleet) CommitReplacements(a *ReplacementArena) (base int) {
 	base = len(f.Disks)
 	for i, d := range a.disks {
 		d.ID = base + i
-		d.Serial = fmt.Sprintf("S%08X", d.ID)
+		d.Serial = serialFor(d.ID)
 		f.Disks = append(f.Disks, d)
 		sh := f.Shelves[d.Shelf]
 		sh.Disks = append(sh.Disks, d.ID)
