@@ -25,6 +25,7 @@ import (
 	"storagesubsys/internal/fleet"
 	"storagesubsys/internal/sim"
 	"storagesubsys/internal/stats"
+	"storagesubsys/internal/sweep"
 )
 
 var (
@@ -156,6 +157,25 @@ func BenchmarkSimulateFullScaleWorkers4(b *testing.B) { benchmarkSimulate(b, 1.0
 func BenchmarkSimulateFullScaleWorkersMax(b *testing.B) {
 	benchmarkSimulate(b, 1.0, runtime.GOMAXPROCS(0))
 }
+
+// benchmarkSweep measures the Monte-Carlo engine end to end: a
+// 4-trial two-scenario sweep at 1% scale, including the per-scenario
+// fleet build, the Reset-and-rerun trial loop over recycled sim
+// scratch, metric extraction, and ordered aggregation.
+func benchmarkSweep(b *testing.B, workers int) {
+	cfg := sweep.Config{Trials: 4, Seed: 42, Scale: 0.01, Workers: workers, Scenarios: sweep.Grids["smoke"]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep.Run(cfg)
+	}
+}
+
+// BenchmarkSweep runs the sweep on a single trial worker — the
+// per-trial steady-state cost target (BENCH_PR4.json).
+func BenchmarkSweep(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweepWorkersMax shards the trials over every available CPU.
+func BenchmarkSweepWorkersMax(b *testing.B) { benchmarkSweep(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkEmitLogs measures rendering events into message chains.
 func BenchmarkEmitLogs(b *testing.B) {

@@ -5,23 +5,27 @@
 //
 // Usage:
 //
-//	reproduce [-scale 0.25] [-seed 42] [-workers N] [-mine] [-exp all|table1|fig4|...]
+//	reproduce [-scale 0.25] [-seed 42] [-workers N] [-mine]
+//	          [-exp all|table1|fig4|fig5|fig6|fig7|fig9|fig10|findings|span|mttdl|replacement]
+//	          [-csv dir]
 //
 // At -scale 1.0 the full 39,000-system / ~1.8M-disk population is
 // rebuilt; the default quarter scale reproduces every statistical
 // conclusion in seconds. -workers shards both fleet construction and
-// the simulation across a worker pool (default: one per available CPU);
-// every worker count produces bit-identical results. -mine routes
-// events through the AutoSupport
+// the simulation across a worker pool (0 = one per available CPU, the
+// fleet.EffectiveWorkers fallback); every worker count produces
+// bit-identical results. -mine routes events through the AutoSupport
 // log-rendering + parsing + classification pipeline instead of using
-// simulator output directly.
+// simulator output directly. -csv additionally writes machine-readable
+// figure data. For multi-trial runs with confidence intervals over a
+// scenario grid, see cmd/sweep, which shares this command's exact
+// per-trial code path (experiments.RunTrial).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
 	"storagesubsys/internal/experiments"
@@ -31,7 +35,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "population scale relative to the paper's 39,000 systems")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "simulation seed")
-	flag.IntVar(&cfg.Workers, "workers", runtime.GOMAXPROCS(0), "fleet build + simulation worker goroutines (any value yields identical results)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "fleet build + simulation worker goroutines (0 = one per CPU; any value yields identical results)")
 	flag.BoolVar(&cfg.Mine, "mine", cfg.Mine, "recover events from rendered raw logs (slower, exercises the full pipeline)")
 	exp := flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
 	csvDir := flag.String("csv", "", "also write machine-readable figure CSVs to this directory")

@@ -35,10 +35,15 @@ func (b Breakdown) TotalEvents() int {
 }
 
 // TotalAFR sums the per-type AFRs — the full bar height in Figure 4.
+// The sum iterates failure types in their fixed declaration order, not
+// map order: float addition is not associative, so ranging over the
+// map would make the low-order bits run-to-run nondeterministic (the
+// sweep engine compares trial metrics bit-for-bit and emits them at
+// full precision).
 func (b Breakdown) TotalAFR() float64 {
 	total := 0.0
-	for _, v := range b.AFR {
-		total += v
+	for _, t := range failmodel.Types {
+		total += b.AFR[t]
 	}
 	return total
 }

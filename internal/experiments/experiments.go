@@ -32,16 +32,18 @@ type Config struct {
 	// Params overrides the default generative calibration (nil = default).
 	Params *failmodel.Params
 	// Workers is the number of worker goroutines used for both fleet
-	// construction and simulation; <= 0 uses runtime.GOMAXPROCS(0).
-	// Every worker count produces bit-identical results (see
-	// fleet.BuildWorkers and sim.RunWorkers), so this only affects
-	// wall-clock.
+	// construction and simulation. The <= 0 fallback (one worker per
+	// CPU) is centralized in fleet.EffectiveWorkers, which every
+	// parallel engine applies. Every worker count produces bit-identical
+	// results (see fleet.BuildWorkers and sim.RunWorkers), so this only
+	// affects wall-clock.
 	Workers int
 }
 
 // DefaultConfig is the configuration cmd/reproduce uses unless told
 // otherwise: quarter scale keeps every statistic stable while running
-// in well under a minute.
+// in well under a minute. Workers is left zero, which
+// fleet.EffectiveWorkers resolves to one worker per available CPU.
 func DefaultConfig() Config {
 	return Config{Scale: 0.25, Seed: 42, Mine: false}
 }
@@ -59,14 +61,32 @@ type Env struct {
 }
 
 // Setup builds the fleet, runs the simulation, and (optionally) the
-// log-mining pipeline.
+// log-mining pipeline. It is the single-run form of RunTrial: the
+// fleet is built fresh from cfg.Seed and the failure history is seeded
+// with the canonical cfg.Seed+1 derivation.
 func Setup(cfg Config) *Env {
+	f := fleet.BuildDefaultWorkers(cfg.Scale, cfg.Seed, cfg.Workers)
+	return RunTrial(cfg, f, cfg.Seed+1, nil)
+}
+
+// RunTrial runs the simulate → (optionally mine) → analyze stages of
+// one reproduction trial over a prepared fleet, seeding the failure
+// history with simSeed. Both the single-run path (Setup, and through
+// it cmd/reproduce) and the Monte-Carlo sweep engine (internal/sweep)
+// share this one code path, so a sweep trial is the exact computation
+// a standalone reproduction performs.
+//
+// The fleet must be freshly built or fleet.Reset to its build
+// checkpoint — RunTrial mutates it (disk removals and replacement
+// installs). scratch may be nil for one-shot runs; a sweep passes a
+// per-worker sim.Scratch so repeated trials recycle the simulation
+// buffers (see sim.RunWorkersScratch for the aliasing contract).
+func RunTrial(cfg Config, f *fleet.Fleet, simSeed int64, scratch *sim.Scratch) *Env {
 	params := cfg.Params
 	if params == nil {
 		params = failmodel.DefaultParams()
 	}
-	f := fleet.BuildDefaultWorkers(cfg.Scale, cfg.Seed, cfg.Workers)
-	res := sim.RunWorkers(f, params, cfg.Seed+1, cfg.Workers)
+	res := sim.RunWorkersScratch(f, params, simSeed, cfg.Workers, scratch)
 	env := &Env{Config: cfg, Fleet: f, Params: params}
 	if cfg.Mine {
 		db := autosupport.Collect(f, res.Events)

@@ -332,6 +332,29 @@ func (p *Params) PerfRate(class fleet.SystemClass, disk fleet.DiskModel) float64
 	return rate
 }
 
+// ScaleDiskAFR multiplies every disk model's annualized failure rate
+// by mult — the declarative "what if disks were k× less reliable"
+// override the sweep engine's scenarios apply (see
+// internal/sweep.Scenario). Call it on a Clone, not on shared params.
+func (p *Params) ScaleDiskAFR(mult float64) {
+	for m := range p.DiskAFR {
+		p.DiskAFR[m] *= mult
+	}
+}
+
+// ScalePIRates multiplies every physical interconnect failure rate —
+// the per-class base rates and every interoperability override — by
+// mult, preserving the relative Figure 6 shelf×disk structure. Call it
+// on a Clone, not on shared params.
+func (p *Params) ScalePIRates(mult float64) {
+	for c := range p.PIBaseAFR {
+		p.PIBaseAFR[c] *= mult
+	}
+	for k := range p.PIInterop {
+		p.PIInterop[k] *= mult
+	}
+}
+
 // Clone returns a deep copy of the parameters, for ablations that
 // perturb a single field.
 func (p *Params) Clone() *Params {

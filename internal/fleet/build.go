@@ -19,6 +19,20 @@ const (
 	streamSystem uint64 = 2 // + system ordinal within the class
 )
 
+// EffectiveWorkers resolves a worker-count setting to a concrete pool
+// size: values <= 0 select one worker per available CPU
+// (runtime.GOMAXPROCS(0)). This is the single fallback shared by every
+// parallel engine in the repository — fleet.BuildWorkers, sim.RunWorkers
+// and the Monte-Carlo trial pool in internal/sweep — all of which
+// produce identical results for any worker count, so the setting only
+// ever affects wall-clock time.
+func EffectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // Build constructs a fleet from the given class profiles at the given
 // population scale (1.0 = the paper's full 39,000-system population),
 // using one build worker per available CPU. The result is fully
@@ -46,9 +60,7 @@ func BuildWorkers(profiles []ClassProfile, scale float64, seed int64, workers in
 	if scale <= 0 {
 		panic("fleet: scale must be positive")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = EffectiveWorkers(workers)
 
 	// Per-class populations, class-level RNG streams, and config weights
 	// (hoisted out of the per-system loop so pickConfig allocates once

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"testing"
+
+	"storagesubsys/internal/simtime"
+)
+
+// TestCheckpointReset verifies that Reset restores a mutated fleet to
+// exactly its as-built state: replacement disks dropped from the fleet
+// and their shelves, residencies restored, every surviving component
+// equal to a freshly built twin's.
+func TestCheckpointReset(t *testing.T) {
+	f := BuildDefault(0.002, 11)
+	ref := BuildDefault(0.002, 11)
+	cp := f.Checkpoint()
+
+	// Simulate the mutations a trial performs: fail and replace a few
+	// disks (the replacement then churns out too), across two shelves.
+	var arena ReplacementArena
+	for _, id := range []int{0, 1, f.Shelves[1].Disks[0]} {
+		d := f.Disks[id]
+		d.Remove = simtime.SecondsPerYear
+		d.Replaced = true
+		arena.Add(d, simtime.SecondsPerYear+1000)
+	}
+	f.CommitReplacements(&arena)
+	if len(f.Disks) == len(ref.Disks) {
+		t.Fatal("setup: no replacements installed")
+	}
+
+	f.Reset(cp)
+
+	if len(f.Disks) != len(ref.Disks) {
+		t.Fatalf("after Reset: %d disks, want %d", len(f.Disks), len(ref.Disks))
+	}
+	for i, d := range f.Disks {
+		want := ref.Disks[i]
+		if *d != *want {
+			t.Fatalf("disk %d = %+v, want %+v", i, *d, *want)
+		}
+	}
+	for i, sh := range f.Shelves {
+		want := ref.Shelves[i]
+		if len(sh.Disks) != len(want.Disks) {
+			t.Fatalf("shelf %d: %d disks, want %d", i, len(sh.Disks), len(want.Disks))
+		}
+		for j := range sh.Disks {
+			if sh.Disks[j] != want.Disks[j] {
+				t.Fatalf("shelf %d disk %d: %d, want %d", i, j, sh.Disks[j], want.Disks[j])
+			}
+		}
+	}
+	if gy, wy := f.DiskYears(nil), ref.DiskYears(nil); gy != wy {
+		t.Fatalf("disk-years %v, want %v", gy, wy)
+	}
+
+	// The arena can now be recycled: the next run's records reuse the
+	// dropped ones, and a recommit reproduces the same IDs.
+	arena.Reset()
+	if arena.Len() != 0 {
+		t.Fatalf("arena.Len() = %d after Reset, want 0", arena.Len())
+	}
+	nd := arena.Add(f.Disks[0], simtime.SecondsPerYear)
+	if nd.ID != -1 {
+		t.Fatalf("recycled record ID = %d, want -1", nd.ID)
+	}
+	base := f.CommitReplacements(&arena)
+	if base != len(ref.Disks) {
+		t.Fatalf("recommit base = %d, want %d", base, len(ref.Disks))
+	}
+}

@@ -241,22 +241,74 @@ func (f *Fleet) Disk(id int) *Disk { return f.Disks[id] }
 // Group returns the RAID group with the given ID.
 func (f *Fleet) Group(id int) *RAIDGroup { return f.Groups[id] }
 
+// Checkpoint records a fleet's as-built population boundary so a
+// simulated trial can be rolled back with Reset. Capture it right after
+// BuildWorkers, before any simulation has touched the fleet.
+type Checkpoint struct {
+	disks int
+}
+
+// Checkpoint captures the fleet's current population boundary.
+func (f *Fleet) Checkpoint() Checkpoint { return Checkpoint{disks: len(f.Disks)} }
+
+// Reset rolls the fleet back to a checkpoint taken before simulation:
+// replacement disks installed since are dropped — from the fleet's disk
+// list and from their shelves' mount lists — and every surviving disk's
+// residency is restored to the full study window. After Reset the fleet
+// is indistinguishable from the freshly built topology, so re-simulating
+// with the same seed reproduces the identical event stream, and
+// re-simulating with a new seed yields an independent Monte-Carlo trial
+// over the same population without paying for a rebuild (the sweep
+// engine's steady state; see internal/sweep). The dropped replacement
+// records become unreachable, which is what makes ReplacementArena
+// recycling safe.
+func (f *Fleet) Reset(c Checkpoint) {
+	for _, d := range f.Disks[:c.disks] {
+		d.Remove = simtime.StudyDuration
+		d.Replaced = false
+	}
+	// Replacements are always appended to a shelf's mount list after the
+	// as-built disks, so trimming trailing IDs past the boundary restores
+	// the original list.
+	for _, sh := range f.Shelves {
+		n := len(sh.Disks)
+		for n > 0 && sh.Disks[n-1] >= c.disks {
+			n--
+		}
+		sh.Disks = sh.Disks[:n]
+	}
+	f.Disks = f.Disks[:c.disks]
+}
+
 // ReplacementArena accumulates replacement disks created by one
 // simulation worker without mutating the shared Fleet, so workers over
 // disjoint system shards need no synchronization. Disks receive
 // provisional negative IDs (-1, -2, ...) in creation order;
 // Fleet.CommitReplacements later assigns the final fleet-unique IDs.
+// Reset rearms a committed arena for another simulation run, recycling
+// the Disk records it has already created.
 type ReplacementArena struct {
-	disks []*Disk
+	disks []*Disk // every record ever created; [:live] belong to this run
+	live  int
 }
 
 // Add records a replacement for the failed disk, joining the same
 // system/shelf/slot/RAID group with the same model, entering service at
 // the given time. The returned disk carries a provisional negative ID
-// and no serial; both are finalized by Fleet.CommitReplacements.
+// and no serial; both are finalized by Fleet.CommitReplacements. After
+// a Reset, Add recycles the previous run's records instead of
+// allocating.
 func (a *ReplacementArena) Add(failed *Disk, at simtime.Seconds) *Disk {
-	nd := &Disk{
-		ID:      -(len(a.disks) + 1),
+	var nd *Disk
+	if a.live < len(a.disks) {
+		nd = a.disks[a.live]
+	} else {
+		nd = new(Disk)
+		a.disks = append(a.disks, nd)
+	}
+	a.live++
+	*nd = Disk{
+		ID:      -a.live,
 		System:  failed.System,
 		Shelf:   failed.Shelf,
 		Slot:    failed.Slot,
@@ -265,25 +317,32 @@ func (a *ReplacementArena) Add(failed *Disk, at simtime.Seconds) *Disk {
 		Install: at,
 		Remove:  simtime.StudyDuration,
 	}
-	a.disks = append(a.disks, nd)
 	return nd
 }
 
-// Len returns the number of replacements recorded so far.
-func (a *ReplacementArena) Len() int { return len(a.disks) }
+// Len returns the number of replacements recorded so far this run.
+func (a *ReplacementArena) Len() int { return a.live }
 
 // Disk returns the arena disk with the given provisional (negative) ID.
 func (a *ReplacementArena) Disk(provisional int) *Disk { return a.disks[-provisional-1] }
+
+// Reset empties the arena for another simulation run while keeping the
+// Disk records it has created, which Add then recycles in creation
+// order. It must only be called once any fleet the records were
+// committed into has been Reset past them (or discarded) — otherwise
+// two live fleets would alias the same records.
+func (a *ReplacementArena) Reset() { a.live = 0 }
 
 // CommitReplacements installs every arena disk into the fleet in
 // creation order: final IDs and serials are assigned and each disk is
 // registered with its shelf. It returns the final ID given to the
 // arena's first disk, so provisional ID -k maps to base+k-1. Committing
 // arenas in system-ID order reproduces exactly the IDs a serial
-// simulation would have assigned. An arena must be committed only once.
+// simulation would have assigned. An arena must be committed at most
+// once per run; Reset rearms it.
 func (f *Fleet) CommitReplacements(a *ReplacementArena) (base int) {
 	base = len(f.Disks)
-	for i, d := range a.disks {
+	for i, d := range a.disks[:a.live] {
 		d.ID = base + i
 		d.Serial = serialFor(d.ID)
 		f.Disks = append(f.Disks, d)

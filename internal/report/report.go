@@ -207,6 +207,16 @@ func F(v float64, decimals int) string {
 	return fmt.Sprintf("%.*f", decimals, v)
 }
 
+// G formats a value to the given number of significant digits (%g),
+// with NaN rendered as "n/a" — the cell formatter for tables whose
+// columns mix counts, rates and ratios (the sweep comparison tables).
+func G(v float64, sig int) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.*g", sig, v)
+}
+
 func bytesRepeat(b byte, n int) []byte {
 	if n < 0 {
 		n = 0

@@ -110,4 +110,13 @@ func TestFormatters(t *testing.T) {
 	if F(math.NaN(), 1) != "n/a" {
 		t.Error("F NaN")
 	}
+	if G(0.00123456, 4) != "0.001235" {
+		t.Errorf("G: %s", G(0.00123456, 4))
+	}
+	if G(12345.6, 3) != "1.23e+04" {
+		t.Errorf("G large: %s", G(12345.6, 3))
+	}
+	if G(math.NaN(), 4) != "n/a" {
+		t.Error("G NaN")
+	}
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
@@ -10,8 +9,27 @@ import (
 	"storagesubsys/internal/stats"
 )
 
+// Scratch owns the per-worker simulation state — event buffers,
+// replacement arenas, and every per-system scratch buffer — so a caller
+// running many simulations (the Monte-Carlo sweep engine) can recycle
+// it across runs and keep steady-state allocation flat: a warm scratch
+// plus a fleet.Reset fleet make a whole re-simulation allocate only its
+// genuine outputs (replacement serials and any event-buffer growth).
+//
+// A Scratch must only be reused once the previous run's outputs are no
+// longer needed: the next run recycles the same event buffers and
+// replacement records, clobbering the prior Result.Events and (unless
+// the fleet has been Reset) the disks committed into the fleet. The
+// zero value is ready to use.
+type Scratch struct {
+	ws      []*worker
+	merged  []failmodel.Event
+	streams [][]failmodel.Event
+}
+
 // RunWorkers simulates the fleet with the given number of worker
-// goroutines. Workers <= 0 uses runtime.GOMAXPROCS(0).
+// goroutines. Workers <= 0 uses one per available CPU
+// (fleet.EffectiveWorkers).
 //
 // The fleet's systems are split into contiguous shards (system-ID
 // order). Each worker simulates its shard into a private event buffer
@@ -28,14 +46,29 @@ import (
 // The output is therefore bit-identical for every worker count: same
 // Result.Events, same Fleet topology, same Fleet.DiskYears.
 func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return RunWorkersScratch(f, params, seed, workers, nil)
+}
+
+// RunWorkersScratch is RunWorkers with caller-owned scratch: passing
+// the same Scratch across runs recycles the worker event buffers,
+// replacement arenas, and per-system scratch, so repeated simulations
+// (Monte-Carlo trials over a Reset fleet) add no steady-state garbage
+// beyond their outputs. A nil scratch is a one-shot run, exactly
+// RunWorkers. The result is bit-identical to a fresh run for every
+// (workers, scratch) combination.
+func RunWorkersScratch(f *fleet.Fleet, params *failmodel.Params, seed int64, workers int, sc *Scratch) *Result {
+	workers = fleet.EffectiveWorkers(workers)
 	if n := len(f.Systems); workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	for len(sc.ws) < workers {
+		sc.ws = append(sc.ws, &worker{})
 	}
 
 	// The root stream is shared read-only across workers: Split is a
@@ -44,11 +77,13 @@ func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers in
 	root := stats.NewRNG(seed).Split(streamSim)
 	initial := len(f.Disks)
 
-	ws := make([]*worker, workers)
+	ws := sc.ws[:workers]
 	var wg sync.WaitGroup
 	for i := range ws {
-		w := &worker{f: f, params: params, initial: initial}
-		ws[i] = w
+		w := ws[i]
+		w.f, w.params, w.initial = f, params, initial
+		w.events = w.events[:0]
+		w.arena.Reset()
 		lo := i * len(f.Systems) / workers
 		hi := (i + 1) * len(f.Systems) / workers
 		wg.Add(1)
@@ -77,7 +112,10 @@ func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers in
 	// Deterministic merge. Committing arenas in shard order is the same
 	// as committing per system in ID order, because shards are
 	// contiguous and each arena is filled in system order.
-	streams := make([][]failmodel.Event, len(ws))
+	if cap(sc.streams) < len(ws) {
+		sc.streams = make([][]failmodel.Event, len(ws))
+	}
+	streams := sc.streams[:len(ws)]
 	total := 0
 	for i, w := range ws {
 		base := f.CommitReplacements(&w.arena)
@@ -88,15 +126,32 @@ func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers in
 		}
 		streams[i] = w.events
 		total += len(w.events)
+		// Drop the per-run references so a long-lived Scratch cannot pin
+		// a fleet (a full-scale one holds ~1.7M disks) after the run.
+		w.f, w.params = nil, nil
 	}
-	return &Result{Fleet: f, Events: mergeStreams(streams, total)}
+	merged, usedBuf := mergeStreams(streams, total, sc.merged)
+	if usedBuf {
+		// Retain the merge buffer for the next run. When the merge
+		// degenerates to a single non-empty stream it returns that
+		// worker's own event buffer instead of writing into buf;
+		// retaining the alias would make the next run merge into an
+		// array that doubles as a live input stream.
+		sc.merged = merged
+	}
+	return &Result{Fleet: f, Events: merged}
 }
 
 // mergeStreams k-way merges event streams that are each sorted by
-// (Time, Disk). Streams never tie on (Time, Disk): a disk belongs to
-// exactly one system, and every system's events live in exactly one
-// stream, so the merge order is total and deterministic.
-func mergeStreams(streams [][]failmodel.Event, total int) []failmodel.Event {
+// (Time, Disk), appending into buf (which may be nil). usedBuf reports
+// whether out is merge-owned storage (buf or its grown replacement) —
+// safe for the caller to retain and reuse — as opposed to an alias of
+// an input stream. Streams never tie on (Time, Disk): a disk belongs
+// to exactly one system, and every system's events live in exactly one
+// stream, so the merge order is total and deterministic. With a single
+// live stream that stream is returned directly, unbuffered (usedBuf
+// false).
+func mergeStreams(streams [][]failmodel.Event, total int, buf []failmodel.Event) (out []failmodel.Event, usedBuf bool) {
 	var live [][]failmodel.Event
 	for _, s := range streams {
 		if len(s) > 0 {
@@ -104,17 +159,20 @@ func mergeStreams(streams [][]failmodel.Event, total int) []failmodel.Event {
 		}
 	}
 	if len(live) == 0 {
-		return nil
+		return nil, false
 	}
 	if len(live) == 1 {
-		return live[0]
+		return live[0], false
 	}
 
 	// Min-heap over each live stream's head event.
 	for i := len(live)/2 - 1; i >= 0; i-- {
 		siftDown(live, i)
 	}
-	out := make([]failmodel.Event, 0, total)
+	out = buf[:0]
+	if cap(out) < total {
+		out = make([]failmodel.Event, 0, total)
+	}
 	for {
 		out = append(out, live[0][0])
 		if rest := live[0][1:]; len(rest) > 0 {
@@ -123,7 +181,7 @@ func mergeStreams(streams [][]failmodel.Event, total int) []failmodel.Event {
 			live[0] = live[len(live)-1]
 			live = live[:len(live)-1]
 			if len(live) == 1 {
-				return append(out, live[0]...)
+				return append(out, live[0]...), true
 			}
 		}
 		siftDown(live, 0)

@@ -107,7 +107,7 @@ func TestMergeStreams(t *testing.T) {
 		for _, s := range tc.streams {
 			total += len(s)
 		}
-		got := mergeStreams(tc.streams, total)
+		got, _ := mergeStreams(tc.streams, total, nil)
 		if len(got) != len(tc.want) {
 			t.Fatalf("%s: got %d events, want %d", tc.name, len(got), len(tc.want))
 		}
@@ -116,5 +116,36 @@ func TestMergeStreams(t *testing.T) {
 				t.Fatalf("%s: event %d = %+v, want %+v", tc.name, i, got[i], tc.want[i])
 			}
 		}
+	}
+}
+
+// TestMergeStreamsBufAliasing pins the retention contract behind
+// Scratch.merged: a degenerate merge (one non-empty stream) returns
+// that stream itself and must report usedBuf false — retaining it as
+// the next run's merge buffer would alias a worker's live event
+// buffer and corrupt the merge — while a real merge writes into buf
+// (or a grown replacement) and reports true.
+func TestMergeStreamsBufAliasing(t *testing.T) {
+	ev := func(time int64, disk int) failmodel.Event {
+		return failmodel.Event{Time: time, Disk: disk}
+	}
+	buf := make([]failmodel.Event, 0, 16)
+
+	single := [][]failmodel.Event{nil, {ev(1, 1), ev(2, 2)}, {}}
+	got, usedBuf := mergeStreams(single, 2, buf)
+	if usedBuf {
+		t.Fatal("single non-empty stream reported usedBuf = true")
+	}
+	if &got[0] != &single[1][0] {
+		t.Fatal("single non-empty stream must be returned unbuffered (same backing array)")
+	}
+
+	multi := [][]failmodel.Event{{ev(1, 1)}, {ev(2, 2)}}
+	got, usedBuf = mergeStreams(multi, 2, buf)
+	if !usedBuf {
+		t.Fatal("real merge reported usedBuf = false")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("real merge within capacity must write into the supplied buffer")
 	}
 }

@@ -45,8 +45,10 @@ func NewExponential(rate float64) Exponential {
 	return Exponential{Rate: rate}
 }
 
+// Name implements Distribution.
 func (e Exponential) Name() string { return "Exponential" }
 
+// PDF returns the exponential density at x.
 func (e Exponential) PDF(x float64) float64 {
 	if x < 0 {
 		return 0
@@ -54,6 +56,7 @@ func (e Exponential) PDF(x float64) float64 {
 	return e.Rate * math.Exp(-e.Rate*x)
 }
 
+// CDF returns P(X <= x).
 func (e Exponential) CDF(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -61,6 +64,7 @@ func (e Exponential) CDF(x float64) float64 {
 	return -math.Expm1(-e.Rate * x)
 }
 
+// Quantile inverts the CDF in closed form.
 func (e Exponential) Quantile(p float64) float64 {
 	switch {
 	case p <= 0:
@@ -71,11 +75,20 @@ func (e Exponential) Quantile(p float64) float64 {
 	return -math.Log(1-p) / e.Rate
 }
 
-func (e Exponential) Mean() float64         { return 1 / e.Rate }
-func (e Exponential) Variance() float64     { return 1 / (e.Rate * e.Rate) }
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Variance returns 1/rate^2.
+func (e Exponential) Variance() float64 { return 1 / (e.Rate * e.Rate) }
+
+// Sample draws one variate using r.
 func (e Exponential) Sample(r *RNG) float64 { return r.Exponential(e.Rate) }
-func (e Exponential) NumParams() int        { return 1 }
-func (e Exponential) String() string        { return fmt.Sprintf("Exponential(rate=%g)", e.Rate) }
+
+// NumParams returns 1 (the rate).
+func (e Exponential) NumParams() int { return 1 }
+
+// String renders the distribution with its parameters.
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(rate=%g)", e.Rate) }
 
 // Gamma is the gamma distribution with shape k and scale theta. The
 // paper finds it is the best fit for disk failure interarrival times
@@ -93,8 +106,10 @@ func NewGamma(shape, scale float64) Gamma {
 	return Gamma{Shape: shape, Scale: scale}
 }
 
+// Name implements Distribution.
 func (g Gamma) Name() string { return "Gamma" }
 
+// PDF returns the gamma density at x (log-space evaluation).
 func (g Gamma) PDF(x float64) float64 {
 	if x < 0 {
 		return 0
@@ -112,6 +127,7 @@ func (g Gamma) PDF(x float64) float64 {
 	return math.Exp((g.Shape-1)*math.Log(x) - x/g.Scale - lg - g.Shape*math.Log(g.Scale))
 }
 
+// CDF returns P(X <= x) via the regularized incomplete gamma.
 func (g Gamma) CDF(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -119,6 +135,7 @@ func (g Gamma) CDF(x float64) float64 {
 	return GammaIncP(g.Shape, x/g.Scale)
 }
 
+// Quantile inverts the CDF by bracketed bisection.
 func (g Gamma) Quantile(p float64) float64 {
 	switch {
 	case p <= 0:
@@ -129,10 +146,19 @@ func (g Gamma) Quantile(p float64) float64 {
 	return quantileByBisection(g, p)
 }
 
-func (g Gamma) Mean() float64         { return g.Shape * g.Scale }
-func (g Gamma) Variance() float64     { return g.Shape * g.Scale * g.Scale }
+// Mean returns shape * scale.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+// Variance returns shape * scale^2.
+func (g Gamma) Variance() float64 { return g.Shape * g.Scale * g.Scale }
+
+// Sample draws one variate using r.
 func (g Gamma) Sample(r *RNG) float64 { return r.Gamma(g.Shape, g.Scale) }
-func (g Gamma) NumParams() int        { return 2 }
+
+// NumParams returns 2 (shape and scale).
+func (g Gamma) NumParams() int { return 2 }
+
+// String renders the distribution with its parameters.
 func (g Gamma) String() string {
 	return fmt.Sprintf("Gamma(shape=%g, scale=%g)", g.Shape, g.Scale)
 }
@@ -153,8 +179,10 @@ func NewWeibull(shape, scale float64) Weibull {
 	return Weibull{Shape: shape, Scale: scale}
 }
 
+// Name implements Distribution.
 func (w Weibull) Name() string { return "Weibull" }
 
+// PDF returns the Weibull density at x.
 func (w Weibull) PDF(x float64) float64 {
 	if x < 0 {
 		return 0
@@ -173,6 +201,7 @@ func (w Weibull) PDF(x float64) float64 {
 	return (w.Shape / w.Scale) * math.Pow(z, w.Shape-1) * math.Exp(-math.Pow(z, w.Shape))
 }
 
+// CDF returns P(X <= x) in closed form.
 func (w Weibull) CDF(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -180,6 +209,7 @@ func (w Weibull) CDF(x float64) float64 {
 	return -math.Expm1(-math.Pow(x/w.Scale, w.Shape))
 }
 
+// Quantile inverts the CDF in closed form.
 func (w Weibull) Quantile(p float64) float64 {
 	switch {
 	case p <= 0:
@@ -190,18 +220,25 @@ func (w Weibull) Quantile(p float64) float64 {
 	return w.Scale * math.Pow(-math.Log(1-p), 1/w.Shape)
 }
 
+// Mean returns scale * Gamma(1 + 1/shape).
 func (w Weibull) Mean() float64 {
 	return w.Scale * math.Gamma(1+1/w.Shape)
 }
 
+// Variance follows from the first two raw moments.
 func (w Weibull) Variance() float64 {
 	g1 := math.Gamma(1 + 1/w.Shape)
 	g2 := math.Gamma(1 + 2/w.Shape)
 	return w.Scale * w.Scale * (g2 - g1*g1)
 }
 
+// Sample draws one variate using r.
 func (w Weibull) Sample(r *RNG) float64 { return r.Weibull(w.Shape, w.Scale) }
-func (w Weibull) NumParams() int        { return 2 }
+
+// NumParams returns 2 (shape and scale).
+func (w Weibull) NumParams() int { return 2 }
+
+// String renders the distribution with its parameters.
 func (w Weibull) String() string {
 	return fmt.Sprintf("Weibull(shape=%g, scale=%g)", w.Shape, w.Scale)
 }
@@ -223,8 +260,10 @@ func NewLogNormal(mu, sigma float64) LogNormal {
 	return LogNormal{Mu: mu, Sigma: sigma}
 }
 
+// Name implements Distribution.
 func (l LogNormal) Name() string { return "LogNormal" }
 
+// PDF returns the lognormal density at x.
 func (l LogNormal) PDF(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -233,6 +272,7 @@ func (l LogNormal) PDF(x float64) float64 {
 	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
 }
 
+// CDF returns P(X <= x) via the normal CDF of log x.
 func (l LogNormal) CDF(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -240,6 +280,7 @@ func (l LogNormal) CDF(x float64) float64 {
 	return NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
 }
 
+// Quantile inverts the CDF via the normal quantile.
 func (l LogNormal) Quantile(p float64) float64 {
 	switch {
 	case p <= 0:
@@ -250,17 +291,24 @@ func (l LogNormal) Quantile(p float64) float64 {
 	return math.Exp(l.Mu + l.Sigma*NormalQuantile(p))
 }
 
+// Mean returns exp(mu + sigma^2/2).
 func (l LogNormal) Mean() float64 {
 	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
 }
 
+// Variance returns (exp(sigma^2)-1) exp(2mu+sigma^2).
 func (l LogNormal) Variance() float64 {
 	s2 := l.Sigma * l.Sigma
 	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
 }
 
+// Sample draws one variate using r.
 func (l LogNormal) Sample(r *RNG) float64 { return r.LogNormal(l.Mu, l.Sigma) }
-func (l LogNormal) NumParams() int        { return 2 }
+
+// NumParams returns 2 (mu and sigma).
+func (l LogNormal) NumParams() int { return 2 }
+
+// String renders the distribution with its parameters.
 func (l LogNormal) String() string {
 	return fmt.Sprintf("LogNormal(mu=%g, sigma=%g)", l.Mu, l.Sigma)
 }

@@ -130,6 +130,39 @@ func studentTSF(t, df float64) float64 {
 	return 0.5 * BetaInc(df/2, 0.5, x)
 }
 
+// StudentTQuantile returns the p-th quantile (0 < p < 1) of Student's
+// t distribution with df degrees of freedom, by bisection on the
+// survival function. Infinite (or huge) df degrades to the normal
+// quantile; it backs the small-sample mean intervals of Online.MeanCI.
+func StudentTQuantile(p, df float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	if p < 0.5 {
+		return -StudentTQuantile(1-p, df)
+	}
+	if math.IsInf(df, 1) || df > 1e6 {
+		return NormalQuantile(p)
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	target := 1 - p // upper-tail mass at the quantile
+	lo, hi := 0.0, 1.0
+	for studentTSF(hi, df) > target && hi < 1e18 {
+		hi *= 2
+	}
+	for i := 0; i < 128; i++ {
+		mid := (lo + hi) / 2
+		if studentTSF(mid, df) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
 // Interval is a two-sided confidence interval.
 type Interval struct {
 	Center float64

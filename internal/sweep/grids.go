@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Grids is the built-in scenario-grid registry backing cmd/sweep's
+// -grid flag. Each grid is a small, purposeful comparison:
+//
+//   - default: the baseline against the two headline design ablations —
+//     single-shelf RAID groups (Finding 9) and doubled disk AFR (does
+//     Finding 1's "disks are not dominant" share band survive worse
+//     disks?).
+//   - smoke: the two cheapest scenarios, for CI.
+//   - burst: interconnect burstiness ablations behind Findings 8-11.
+//   - mine: simulator events versus events recovered from rendered log
+//     text — quantifies the mining pipeline's losses.
+//   - scale: the same population model at three scales — a scale
+//     sensitivity check for every reported statistic.
+var Grids = map[string][]Scenario{
+	"default": {
+		{Name: "baseline"},
+		{Name: "span-1", SpanShelves: 1},
+		{Name: "disk-afr-x2", DiskAFRMult: 2},
+	},
+	"smoke": {
+		{Name: "baseline"},
+		{Name: "disk-afr-x2", DiskAFRMult: 2},
+	},
+	"burst": {
+		{Name: "baseline"},
+		{Name: "pi-singleton", PISingletonProb: 1},
+		{Name: "pi-x2", PIRateMult: 2},
+	},
+	"mine": {
+		{Name: "baseline"},
+		{Name: "mined", Mine: true},
+	},
+	"scale": {
+		{Name: "scale-0.10", Scale: 0.10},
+		{Name: "scale-0.25", Scale: 0.25},
+		{Name: "scale-0.50", Scale: 0.50},
+	},
+}
+
+// GridNames lists the built-in grids in sorted order.
+func GridNames() []string {
+	names := make([]string, 0, len(Grids))
+	for n := range Grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadGrid resolves a -grid argument: a built-in grid name, or a path
+// to a JSON file holding a []Scenario (recognized by a path separator
+// or a .json suffix).
+func LoadGrid(nameOrPath string) ([]Scenario, error) {
+	if g, ok := Grids[nameOrPath]; ok {
+		return g, nil
+	}
+	if strings.ContainsRune(nameOrPath, os.PathSeparator) || strings.HasSuffix(nameOrPath, ".json") {
+		data, err := os.ReadFile(nameOrPath)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: reading grid file: %w", err)
+		}
+		// Unknown fields are rejected: a typoed override key would
+		// otherwise silently degrade the scenario to a baseline
+		// duplicate — the worst failure mode for a comparison tool.
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var scens []Scenario
+		if err := dec.Decode(&scens); err != nil {
+			return nil, fmt.Errorf("sweep: parsing grid file %s: %w", nameOrPath, err)
+		}
+		if len(scens) == 0 {
+			return nil, fmt.Errorf("sweep: grid file %s holds no scenarios", nameOrPath)
+		}
+		for i, s := range scens {
+			if s.Name == "" {
+				return nil, fmt.Errorf("sweep: grid file %s: scenario %d has no name", nameOrPath, i)
+			}
+		}
+		return scens, nil
+	}
+	return nil, fmt.Errorf("sweep: unknown grid %q (built-ins: %s; or pass a JSON file)",
+		nameOrPath, strings.Join(GridNames(), ", "))
+}

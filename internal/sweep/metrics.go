@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"math"
+
+	"storagesubsys/internal/core"
+	"storagesubsys/internal/experiments"
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+)
+
+// MetricDef describes one summary statistic extracted from every
+// trial's dataset: a stable name (JSON key and table row) and the
+// paper reference the statistic reproduces, shown in the comparison
+// table.
+type MetricDef struct {
+	Name  string
+	Paper string
+}
+
+// Metrics is the fixed registry of per-trial summary statistics, in
+// vector order: trialVector fills one float64 per entry and the
+// aggregators are indexed the same way. Appending to this list is
+// backward compatible; reordering changes every vector.
+var Metrics = []MetricDef{
+	{"events_visible", "Table 1: ~39,000 subsystem failures over 44 months at full scale"},
+	{"afr_total_nearline", "Figure 4(b): near-line subsystem AFR ~3.3%"},
+	{"afr_total_lowend", "Figure 4(b): low-end subsystem AFR ~4.6%"},
+	{"afr_total_midrange", "Figure 4(b): mid-range subsystem AFR ~2.4%"},
+	{"afr_total_highend", "Figure 4(b): high-end subsystem AFR ~2.1%"},
+	{"disk_share_nearline", "Finding 1: disks are 20-55% of subsystem failures"},
+	{"disk_share_lowend", "Finding 1: disks are 20-55% of subsystem failures"},
+	{"disk_share_midrange", "Finding 1: disks are 20-55% of subsystem failures"},
+	{"disk_share_highend", "Finding 1: disks are 20-55% of subsystem failures"},
+	{"pi_share_nearline", "Finding 1: physical interconnects are 27-68%"},
+	{"pi_share_lowend", "Finding 1: physical interconnects are 27-68%"},
+	{"pi_share_midrange", "Finding 1: physical interconnects are 27-68%"},
+	{"pi_share_highend", "Finding 1: physical interconnects are 27-68%"},
+	{"disk_afr_nearline", "Finding 2: SATA disk AFR ~1.9%"},
+	{"disk_afr_lowend", "Finding 2: enterprise FC disk AFR < 0.9%"},
+	{"family_h_afr_ratio", "Finding 3: family H doubles subsystem AFR (~2x)"},
+	{"burst_shelf_overall", "Figure 9(a): ~48% of shelf gaps < 10^4 s"},
+	{"burst_rg_overall", "Figure 9(b): ~30% of RAID-group gaps < 10^4 s"},
+	{"burst_shelf_disk", "Finding 8: disk failure gaps far less bursty"},
+	{"burst_shelf_pi", "Finding 8: interconnect gaps highly bursty"},
+	{"corr_disk_shelf", "Figure 10(a): disk P(2) ~6x the independence prediction"},
+	{"corr_pi_shelf", "Figure 10(a): interconnect P(2) 10-25x independence"},
+	{"findings_pass", "11/11 findings reproduce (with -findings only)"},
+	{"mined_dropped", "log records the mining pipeline cannot resolve (Mine scenarios only)"},
+}
+
+// metricIndex returns the vector position of a metric name, -1 if
+// unknown.
+func metricIndex(name string) int {
+	for i, m := range Metrics {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// trialVector computes the Metrics vector for one trial, appending
+// into out (recycled by the caller). Entries that are undefined for
+// the trial — findings_pass without Config.Findings, mined_dropped in
+// non-mining scenarios, gap fractions with no gaps at tiny scales —
+// are NaN; the collector skips NaN pushes so each metric tracks its
+// own observation count.
+func trialVector(env *experiments.Env, findings bool, out []float64) []float64 {
+	out = out[:0]
+	ds := env.Dataset
+
+	visible := 0
+	for _, e := range ds.Events {
+		if e.Visible() {
+			visible++
+		}
+	}
+	out = append(out, float64(visible))
+
+	// Per-class AFR totals and failure-type shares, excluding the
+	// problematic disk family as the paper's Figure 4(b) does.
+	noH := core.Filter{ExcludeFamily: fleet.ProblemFamily}
+	byClass := make(map[string]core.Breakdown, len(fleet.Classes))
+	for _, b := range ds.AFRByClass(noH) {
+		byClass[b.Label] = b
+	}
+	classStat := func(f func(core.Breakdown) float64) {
+		for _, c := range fleet.Classes {
+			b, ok := byClass[c.String()]
+			if !ok || b.DiskYears == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, f(b))
+		}
+	}
+	classStat(func(b core.Breakdown) float64 { return b.TotalAFR() })
+	classStat(func(b core.Breakdown) float64 { return b.Share(failmodel.DiskFailure) })
+	classStat(func(b core.Breakdown) float64 { return b.Share(failmodel.PhysicalInterconnect) })
+
+	diskAFR := func(class fleet.SystemClass) float64 {
+		b, ok := byClass[class.String()]
+		if !ok || b.DiskYears == 0 {
+			return math.NaN()
+		}
+		return b.AFR[failmodel.DiskFailure]
+	}
+	out = append(out, diskAFR(fleet.NearLine), diskAFR(fleet.LowEnd))
+
+	out = append(out, familyHRatio(ds))
+
+	shelfGaps := ds.Gaps(core.ByShelf, core.Filter{})
+	rgGaps := ds.Gaps(core.ByRAIDGroup, core.Filter{})
+	out = append(out,
+		shelfGaps.OverallFractionWithin(core.BurstThreshold),
+		rgGaps.OverallFractionWithin(core.BurstThreshold),
+		shelfGaps.FractionWithin(failmodel.DiskFailure, core.BurstThreshold),
+		shelfGaps.FractionWithin(failmodel.PhysicalInterconnect, core.BurstThreshold),
+	)
+
+	corrDisk, corrPI := math.NaN(), math.NaN()
+	for _, r := range ds.Correlation(core.ByShelf, core.CorrelationOptions{}) {
+		switch r.Type {
+		case failmodel.DiskFailure:
+			corrDisk = r.Ratio
+		case failmodel.PhysicalInterconnect:
+			corrPI = r.Ratio
+		}
+	}
+	out = append(out, corrDisk, corrPI)
+
+	if findings {
+		pass := 0
+		for _, fd := range ds.EvaluateFindings() {
+			if fd.Pass {
+				pass++
+			}
+		}
+		out = append(out, float64(pass))
+	} else {
+		out = append(out, math.NaN())
+	}
+
+	if env.Config.Mine {
+		out = append(out, float64(env.MinedDropped))
+	} else {
+		out = append(out, math.NaN())
+	}
+
+	if len(out) != len(Metrics) {
+		panic("sweep: trialVector length diverged from the Metrics registry")
+	}
+	return out
+}
+
+// familyHRatio reproduces Finding 3's comparison: within the classes
+// that deploy the problematic family, the family-H subsystem AFR over
+// the other families' (NaN when either population is missing).
+func familyHRatio(ds *core.Dataset) float64 {
+	bs := ds.AFRByGroup(func(s *fleet.System) (string, bool) {
+		if s.Class == fleet.NearLine {
+			return "", false
+		}
+		if s.DiskModel.Family == fleet.ProblemFamily {
+			return "H", true
+		}
+		return "other", true
+	}, core.Filter{})
+	var h, rest core.Breakdown
+	var okH, okRest bool
+	for _, b := range bs {
+		switch b.Label {
+		case "H":
+			h, okH = b, true
+		case "other":
+			rest, okRest = b, true
+		}
+	}
+	if !okH || !okRest || rest.TotalAFR() == 0 {
+		return math.NaN()
+	}
+	return h.TotalAFR() / rest.TotalAFR()
+}

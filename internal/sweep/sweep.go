@@ -1,0 +1,309 @@
+// Package sweep is the Monte-Carlo sweep engine: it runs T independent
+// failure-history trials per scenario over a declarative scenario grid
+// and reports, for every paper-finding statistic, the mean with a 95%
+// Student-t confidence interval and spread quantiles — the uncertainty
+// a single cmd/reproduce run cannot show.
+//
+// A trial is exactly the computation a standalone reproduction
+// performs (experiments.RunTrial, the code path cmd/reproduce also
+// uses), but the fleet is built once per scenario and rolled back with
+// fleet.Reset between trials, and each sweep worker recycles a
+// sim.Scratch, so the steady-state trial loop allocates only its
+// outputs: the paper's population is a fixed topology and the
+// randomness being quantified is the failure realization over it.
+//
+// Determinism: the whole sweep is a pure function of its Config.
+// Trials are sharded contiguously across a worker pool, but workers
+// only compute; a single collector pushes every trial's metric vector
+// into the per-scenario aggregators in global trial order, buffering
+// out-of-order arrivals. (The buffer stays small in practice — shards
+// are contiguous and per-trial costs even — but worker skew can grow
+// it up to the completed-but-unaggregated trial count; each entry is
+// one small metric vector.) Summaries — and therefore the JSON
+// rendering — are
+// byte-identical for every worker count. Trial 0 of every scenario
+// replays the canonical single-run seed derivation, so the sweep
+// always brackets the point estimate cmd/reproduce reports, and
+// scenarios share trial seeds (common random numbers), which reduces
+// the variance of scenario-to-scenario comparisons.
+package sweep
+
+import (
+	"sync"
+
+	"storagesubsys/internal/experiments"
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sim"
+	"storagesubsys/internal/stats"
+)
+
+// RNG stream constants for the sweep's seed derivations, decoupled
+// from every stream internal/sim and internal/fleet consume.
+const (
+	streamTrialSeed uint64 = 0x57 // + trial index << 8: per-trial history seeds
+	streamReservoir uint64 = 0x52 // + scenario << 8 + metric << 32: quantile reservoirs
+)
+
+// Scenario is one cell of the sweep's declarative grid: a named set of
+// overrides applied on top of the sweep's base configuration. The zero
+// value of every field means "inherit the default", so a grid JSON
+// file only lists what it changes.
+type Scenario struct {
+	// Name labels the scenario in tables and JSON.
+	Name string `json:"name"`
+	// Scale overrides the sweep's base population scale (0 = inherit).
+	Scale float64 `json:"scale,omitempty"`
+	// SpanShelves overrides every class profile's RAID shelf span
+	// (0 = profile default; 1 = the Finding 9 single-shelf ablation).
+	SpanShelves int `json:"spanShelves,omitempty"`
+	// Mine routes events through the log rendering → parsing →
+	// classification pipeline instead of using simulator output
+	// directly (slower; adds the mined_dropped metric).
+	Mine bool `json:"mine,omitempty"`
+	// DiskAFRMult multiplies every disk model's AFR (0 = unchanged).
+	DiskAFRMult float64 `json:"diskAFRMult,omitempty"`
+	// PIRateMult multiplies every physical interconnect rate,
+	// interoperability overrides included (0 = unchanged).
+	PIRateMult float64 `json:"piRateMult,omitempty"`
+	// PISingletonProb overrides the interconnect burst-size singleton
+	// probability (0 = default; 1 = no multi-event bursts, an
+	// independence ablation for Findings 8 and 11).
+	PISingletonProb float64 `json:"piSingletonProb,omitempty"`
+}
+
+// params materializes the scenario's failure-model overrides, or nil
+// when the defaults apply unchanged.
+func (s Scenario) params() *failmodel.Params {
+	if s.DiskAFRMult == 0 && s.PIRateMult == 0 && s.PISingletonProb == 0 {
+		return nil
+	}
+	p := failmodel.DefaultParams()
+	if s.DiskAFRMult > 0 {
+		p.ScaleDiskAFR(s.DiskAFRMult)
+	}
+	if s.PIRateMult > 0 {
+		p.ScalePIRates(s.PIRateMult)
+	}
+	if s.PISingletonProb > 0 {
+		p.PIBurst.SingletonProb = s.PISingletonProb
+	}
+	return p
+}
+
+// effScale resolves the scenario's population scale against the
+// sweep's base scale.
+func (s Scenario) effScale(base float64) float64 {
+	if s.Scale > 0 {
+		return s.Scale
+	}
+	return base
+}
+
+// Config controls a sweep run. The whole sweep — every trial, every
+// summary, the JSON bytes — is a pure function of this value
+// (Workers excepted, which only affects wall-clock).
+type Config struct {
+	// Trials is the number of Monte-Carlo trials per scenario
+	// (minimum 1). Trial 0 replays the canonical single-run seeds.
+	Trials int
+	// Seed determines every fleet and every trial's failure history.
+	Seed int64
+	// Scale is the base population scale; scenarios may override it.
+	Scale float64
+	// Workers sizes the trial-level worker pool; <= 0 selects one per
+	// CPU (fleet.EffectiveWorkers). Results are byte-identical for
+	// every worker count.
+	Workers int
+	// Scenarios is the grid; empty selects Grids["default"].
+	Scenarios []Scenario
+	// Findings additionally evaluates the paper's Findings 1-11 per
+	// trial (the findings_pass metric; roughly doubles per-trial
+	// analysis cost).
+	Findings bool
+	// ReservoirSize caps the per-metric quantile sample (0 = 512).
+	// Quantiles are exact while Trials fits in the reservoir.
+	ReservoirSize int
+}
+
+// DefaultConfig mirrors cmd/sweep's flag defaults: 20 trials per
+// scenario over the default three-scenario grid at quarter scale.
+func DefaultConfig() Config {
+	return Config{Trials: 20, Seed: 42, Scale: 0.25, Scenarios: Grids["default"]}
+}
+
+// trialSeed derives the failure-history seed for one trial. Trial 0
+// replays the canonical single-run derivation (sweep seed + 1 —
+// exactly what experiments.Setup and cmd/reproduce use), so the
+// sweep's spread brackets the standalone point estimate by
+// construction; later trials draw decoupled 64-bit keys from a
+// splittable stream.
+func trialSeed(seed int64, trial int) int64 {
+	if trial == 0 {
+		return seed + 1
+	}
+	r := stats.NewRNG(seed)
+	c := r.Split(streamTrialSeed | uint64(trial)<<8)
+	return int64(c.Uint64())
+}
+
+// scenarioRun is a scenario resolved against the sweep config, shared
+// read-only by the workers.
+type scenarioRun struct {
+	scen   Scenario
+	scale  float64
+	span   int
+	params *failmodel.Params
+}
+
+// buildFleet constructs the scenario's population. Worker count 1:
+// sweep parallelism lives at the trial level.
+func (r *scenarioRun) buildFleet(seed int64) *fleet.Fleet {
+	profiles := fleet.DefaultProfiles()
+	if r.span > 0 {
+		for i := range profiles {
+			profiles[i].SpanShelves = r.span
+		}
+	}
+	return fleet.BuildWorkers(profiles, r.scale, seed, 1)
+}
+
+// trialOut is one finished trial's metric vector, tagged with its
+// global job index for ordered aggregation.
+type trialOut struct {
+	job  int
+	vals []float64
+}
+
+// Progress receives collector notifications as scenarios complete;
+// cmd/sweep uses it for stderr progress lines. May be nil.
+type Progress func(scenario Scenario, trialsDone int)
+
+// Run executes the sweep and returns its aggregated Result. See the
+// package comment for the determinism and allocation contracts.
+func Run(cfg Config) *Result {
+	return RunProgress(cfg, nil)
+}
+
+// RunProgress is Run with a per-scenario completion callback, invoked
+// from the collector as each scenario's last trial is aggregated.
+func RunProgress(cfg Config, progress Progress) *Result {
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	scens := cfg.Scenarios
+	if len(scens) == 0 {
+		scens = Grids["default"]
+	}
+	nScen := len(scens)
+	jobs := nScen * trials
+	workers := fleet.EffectiveWorkers(cfg.Workers)
+	if workers > jobs {
+		workers = jobs
+	}
+	resCap := cfg.ReservoirSize
+	if resCap <= 0 {
+		resCap = 512
+	}
+
+	runs := make([]scenarioRun, nScen)
+	for i, s := range scens {
+		runs[i] = scenarioRun{scen: s, scale: s.effScale(cfg.Scale), span: s.SpanShelves, params: s.params()}
+	}
+
+	// Per-scenario, per-metric aggregators, fed only by the collector.
+	nMet := len(Metrics)
+	root := stats.NewRNG(cfg.Seed)
+	onlines := make([][]stats.Online, nScen)
+	reservoirs := make([][]*stats.Reservoir, nScen)
+	points := make([][]float64, nScen)
+	for si := range runs {
+		onlines[si] = make([]stats.Online, nMet)
+		reservoirs[si] = make([]*stats.Reservoir, nMet)
+		points[si] = make([]float64, nMet)
+		for mi := range Metrics {
+			rng := root.Split(streamReservoir | uint64(si)<<8 | uint64(mi)<<32)
+			reservoirs[si][mi] = stats.NewReservoir(resCap, rng)
+		}
+	}
+
+	// Workers: contiguous job shards (scenario-major, trial-minor), so
+	// each worker crosses as few scenario boundaries as possible and
+	// reuses its fleet via Reset whenever the population is unchanged.
+	out := make(chan trialOut, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * jobs / workers
+		hi := (wi + 1) * jobs / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var f *fleet.Fleet
+			var cp fleet.Checkpoint
+			haveScale, haveSpan := 0.0, -1
+			var scratch sim.Scratch
+			for j := lo; j < hi; j++ {
+				r := &runs[j/trials]
+				if f == nil || r.scale != haveScale || r.span != haveSpan {
+					f = r.buildFleet(cfg.Seed)
+					cp = f.Checkpoint()
+					haveScale, haveSpan = r.scale, r.span
+				} else {
+					f.Reset(cp)
+				}
+				env := experiments.RunTrial(experiments.Config{
+					Scale:   r.scale,
+					Seed:    cfg.Seed,
+					Mine:    r.scen.Mine,
+					Params:  r.params,
+					Workers: 1,
+				}, f, trialSeed(cfg.Seed, j%trials), &scratch)
+				out <- trialOut{job: j, vals: trialVector(env, cfg.Findings, make([]float64, 0, nMet))}
+			}
+		}(lo, hi)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Ordered collector: aggregate strictly in global job order so the
+	// aggregation sequence — and every floating-point summary — is
+	// independent of worker scheduling.
+	pending := make(map[int][]float64, workers)
+	next := 0
+	push := func(vals []float64) {
+		si, ti := next/trials, next%trials
+		for mi, v := range vals {
+			if ti == 0 {
+				points[si][mi] = v
+			}
+			if v != v { // NaN: metric undefined for this trial
+				continue
+			}
+			onlines[si][mi].Push(v)
+			reservoirs[si][mi].Push(v)
+		}
+		if ti == trials-1 && progress != nil {
+			progress(runs[si].scen, trials)
+		}
+	}
+	for o := range out {
+		pending[o.job] = o.vals
+		for {
+			vals, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			push(vals)
+			next++
+		}
+	}
+
+	return summarize(cfg, trials, runs, onlines, reservoirs, points)
+}
