@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure in the paper's
-// evaluation (one benchmark per artifact, E1-E10 in DESIGN.md), plus
+// evaluation (one benchmark per artifact), plus
 // micro-benchmarks of the heavy primitives. Each figure benchmark
 // measures the analysis itself over a prepared environment — the
 // simulate-once cost is excluded via a shared setup — so the numbers
@@ -21,6 +21,7 @@ import (
 	"storagesubsys/internal/core"
 	"storagesubsys/internal/eventlog"
 	"storagesubsys/internal/experiments"
+	"storagesubsys/internal/expreport"
 	"storagesubsys/internal/failmodel"
 	"storagesubsys/internal/fleet"
 	"storagesubsys/internal/sim"
@@ -176,6 +177,35 @@ func BenchmarkSweep(b *testing.B) { benchmarkSweep(b, 1) }
 
 // BenchmarkSweepWorkersMax shards the trials over every available CPU.
 func BenchmarkSweepWorkersMax(b *testing.B) { benchmarkSweep(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSweepOpsGrid measures the operational-dimension grid
+// (install-window skew, churn, repair lag, sparse shelves): six
+// scenarios, four of whose topology dimensions defeat the worker's
+// fleet cache, so this includes four extra fleet builds per run
+// (slow-repair only overrides the failure model and reuses the
+// baseline fleet via Reset).
+func BenchmarkSweepOpsGrid(b *testing.B) {
+	cfg := sweep.Config{Trials: 2, Seed: 42, Scale: 0.01, Workers: 1, Scenarios: sweep.Grids["ops"]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep.Run(cfg)
+	}
+}
+
+// BenchmarkExpreportRender measures joining a sweep result against the
+// paperref registry and rendering the full EXPERIMENTS.md markdown
+// (the sweep itself is excluded via setup).
+func BenchmarkExpreportRender(b *testing.B) {
+	res := sweep.Run(sweep.Config{Trials: 2, Seed: 42, Scale: 0.005, Workers: runtime.GOMAXPROCS(0),
+		Scenarios: sweep.Grids["ops"]})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := expreport.Render(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkEmitLogs measures rendering events into message chains.
 func BenchmarkEmitLogs(b *testing.B) {

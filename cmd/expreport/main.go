@@ -1,0 +1,107 @@
+// Command expreport renders EXPERIMENTS.md: the paper-vs-spread
+// report joining the paper's published values (internal/paperref)
+// against a Monte-Carlo sweep's confidence intervals and quantiles
+// (internal/sweep), one section per paper finding with a
+// within/outside-CI verdict per target.
+//
+// Usage:
+//
+//	expreport [-o EXPERIMENTS.md] [-in sweep.json]
+//	          [-trials 24] [-scale 0.10] [-seed 42] [-grid ops] [-workers N]
+//
+// With no flags it runs the canonical configuration behind the
+// committed EXPERIMENTS.md (expreport.CanonicalConfig: the ops grid —
+// baseline plus install-window skew, churn, repair-lag and shelf-mix
+// scenarios — at 10% scale, 24 trials each) and writes the report to
+// stdout. The output is byte-deterministic: a pure function of
+// (-trials, -scale, -seed, -grid), independent of -workers, which is
+// what lets CI's expreport-smoke job regenerate the file and fail on
+// `git diff --exit-code` when the committed copy is stale.
+//
+// -in joins an existing `cmd/sweep -json` result instead of running
+// the sweep, so expensive sweeps (full scale, high trial counts) can
+// be rendered without recomputation. -o writes atomically-ish to a
+// file instead of stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"storagesubsys/internal/expreport"
+	"storagesubsys/internal/sweep"
+)
+
+func main() {
+	canon := expreport.CanonicalConfig()
+	out := flag.String("o", "", "output file (default stdout)")
+	in := flag.String("in", "", "join an existing cmd/sweep -json result instead of running the sweep")
+	trials := flag.Int("trials", canon.Trials, "Monte-Carlo trials per scenario")
+	scale := flag.Float64("scale", canon.Scale, "base population scale")
+	seed := flag.Int64("seed", canon.Seed, "sweep seed")
+	grid := flag.String("grid", "ops", "scenario grid name or JSON file (see cmd/sweep)")
+	workers := flag.Int("workers", 0, "trial worker goroutines (0 = one per CPU; output is identical for every count)")
+	flag.Parse()
+
+	var res *sweep.Result
+	if *in != "" {
+		// -in renders an already-computed sweep: its configuration is
+		// whatever the JSON was swept with, so combining it with
+		// sweep-config flags would silently drop them — reject instead.
+		conflicting := map[string]bool{"trials": true, "scale": true, "seed": true, "grid": true, "workers": true}
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] {
+				fatal(fmt.Errorf("-%s conflicts with -in: the report renders the configuration recorded in %s", f.Name, *in))
+			}
+		})
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		res = &sweep.Result{}
+		if err := json.Unmarshal(data, res); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *in, err))
+		}
+	} else {
+		scens, err := sweep.LoadGrid(*grid)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := sweep.Config{
+			Trials:    *trials,
+			Seed:      *seed,
+			Scale:     *scale,
+			Workers:   *workers,
+			Scenarios: scens,
+		}
+		fmt.Fprintf(os.Stderr, "expreport: sweeping %d scenarios x %d trials at scale %.2f (seed %d)\n",
+			len(scens), cfg.Trials, cfg.Scale, cfg.Seed)
+		res = sweep.RunProgress(cfg, func(s sweep.Scenario, done int) {
+			fmt.Fprintf(os.Stderr, "expreport: scenario %q complete (%d trials)\n", s.Name, done)
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := expreport.Render(w, res); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "expreport:", err)
+	os.Exit(1)
+}

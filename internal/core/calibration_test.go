@@ -27,7 +27,7 @@ func dataset(t *testing.T) *Dataset {
 
 // TestCalibrationSmoke logs the headline numbers of every experiment so
 // calibration drift is visible in test output, and asserts the coarse
-// shape targets from DESIGN.md.
+// shape targets of the calibration (internal/failmodel/params.go).
 func TestCalibrationSmoke(t *testing.T) {
 	ds := dataset(t)
 
@@ -64,7 +64,7 @@ func TestCalibrationSmoke(t *testing.T) {
 	}
 }
 
-// TestCalibrationTargets asserts the DESIGN.md §3 shape targets at 5%
+// TestCalibrationTargets asserts the calibration shape targets at 5%
 // scale. Tolerances accommodate clustered-event sampling noise; the
 // scale-sensitive assertions (Figure 6 significance) live in the
 // full-scale reproduction record (EXPERIMENTS.md), not here.

@@ -135,10 +135,26 @@ func (ds *Dataset) finding3() Finding {
 	return f
 }
 
-// Finding 4: a disk model's disk AFR is stable across environments while
-// its storage subsystem AFR varies strongly.
-func (ds *Dataset) finding4() Finding {
-	f := Finding{ID: 4, Title: "Disk AFR stable across environments; subsystem AFR varies strongly"}
+// EnvSpread is Finding 4's cross-environment comparison: the average
+// relative standard deviation (std/mean) of per-environment AFRs over
+// every disk model deployed in at least two environments, computed
+// separately for the disk AFR (the paper: stable) and the whole
+// subsystem AFR (the paper: varies strongly). Models counts the disk
+// models that entered the averages; when it is zero both spreads are
+// NaN.
+type EnvSpread struct {
+	DiskRelStd   float64
+	SubsysRelStd float64
+	Models       int
+}
+
+// EnvAFRSpread computes Finding 4's spread comparison — the statistic
+// behind the finding4 verdict and the sweep's afr_spread_disk /
+// afr_spread_subsys metrics. Environments are (class, shelf model,
+// disk model) groups with at least 200 disk-years of exposure;
+// iteration is in sorted model order so the float averages are
+// deterministic.
+func (ds *Dataset) EnvAFRSpread() EnvSpread {
 	// Group by (class, shelf model, disk model); then for disk models in
 	// >= 2 environments compare relative spread of disk vs subsystem AFR.
 	type envGroup struct {
@@ -193,15 +209,65 @@ func (ds *Dataset) finding4() Finding {
 		totalSpreads = append(totalSpreads, relStd(totals))
 	}
 	if len(diskSpreads) == 0 {
+		return EnvSpread{DiskRelStd: math.NaN(), SubsysRelStd: math.NaN()}
+	}
+	return EnvSpread{
+		DiskRelStd:   stats.Mean(diskSpreads),
+		SubsysRelStd: stats.Mean(totalSpreads),
+		Models:       len(diskSpreads),
+	}
+}
+
+// Finding 4: a disk model's disk AFR is stable across environments while
+// its storage subsystem AFR varies strongly.
+func (ds *Dataset) finding4() Finding {
+	f := Finding{ID: 4, Title: "Disk AFR stable across environments; subsystem AFR varies strongly"}
+	sp := ds.EnvAFRSpread()
+	if sp.Models == 0 {
 		f.Detail = "no disk model spans multiple environments"
 		return f
 	}
-	meanDisk := stats.Mean(diskSpreads)
-	meanTotal := stats.Mean(totalSpreads)
-	f.Pass = meanDisk < 0.25 && meanTotal > math.Max(1.5*meanDisk, 0.15)
+	f.Pass = sp.DiskRelStd < 0.25 && sp.SubsysRelStd > math.Max(1.5*sp.DiskRelStd, 0.15)
 	f.Detail = fmt.Sprintf("avg relative std across environments: disk AFR %.0f%%, subsystem AFR %.0f%% (%d shared models)",
-		meanDisk*100, meanTotal*100, len(diskSpreads))
+		sp.DiskRelStd*100, sp.SubsysRelStd*100, sp.Models)
 	return f
+}
+
+// capacityPairs lists the within-family (smaller, larger) capacity
+// pairs the Finding 5 comparison walks — every family deploying
+// multiple capacities.
+var capacityPairs = [][2]string{{"A-1", "A-2"}, {"A-2", "A-3"}, {"D-1", "D-2"}, {"D-2", "D-3"}, {"C-1", "C-2"}, {"F-1", "F-2"}, {"I-1", "I-2"}, {"J-1", "J-2"}}
+
+// CapacityAFRMeanRatio returns the mean ratio of the larger capacity's
+// disk AFR to the smaller capacity's across the within-family pairs
+// with at least 5000 disk-years on both sides, and how many pairs
+// qualified — Finding 5's statistic (the paper: AFR does not grow with
+// capacity, so the ratio stays at or below ~1). NaN with zero pairs
+// when no pair has enough exposure.
+func (ds *Dataset) CapacityAFRMeanRatio() (ratio float64, pairs int) {
+	bs := ds.AFRByGroup(func(s *fleet.System) (string, bool) {
+		return s.DiskModel.String(), true
+	}, Filter{})
+	afr := make(map[string]float64)
+	years := make(map[string]float64)
+	for _, b := range bs {
+		afr[b.Label] = b.AFR[failmodel.DiskFailure]
+		years[b.Label] = b.DiskYears
+	}
+	sum := 0.0
+	for _, p := range capacityPairs {
+		small, okS := afr[p[0]]
+		large, okL := afr[p[1]]
+		if !okS || !okL || small == 0 || years[p[0]] < 5000 || years[p[1]] < 5000 {
+			continue
+		}
+		sum += large / small
+		pairs++
+	}
+	if pairs == 0 {
+		return math.NaN(), 0
+	}
+	return sum / float64(pairs), pairs
 }
 
 // Finding 5: AFR does not increase with disk capacity.
@@ -218,11 +284,10 @@ func (ds *Dataset) finding5() Finding {
 	}
 	// For every family with multiple capacities, the larger capacity
 	// must not be meaningfully worse than the smaller one.
-	pairs := [][2]string{{"A-1", "A-2"}, {"A-2", "A-3"}, {"D-1", "D-2"}, {"D-2", "D-3"}, {"C-1", "C-2"}, {"F-1", "F-2"}, {"I-1", "I-2"}, {"J-1", "J-2"}}
 	pass := true
 	detail := ""
 	checked := 0
-	for _, p := range pairs {
+	for _, p := range capacityPairs {
 		small, okS := afr[p[0]]
 		large, okL := afr[p[1]]
 		if !okS || !okL || years[p[0]] < 5000 || years[p[1]] < 5000 {
@@ -239,6 +304,40 @@ func (ds *Dataset) finding5() Finding {
 	return f
 }
 
+// shelfCompareModels are the low-end disk models the paper's Figure 6
+// deploys with both shelf enclosure models — the comparison set shared
+// by finding6 and ShelfModelPIDelta.
+var shelfCompareModels = []fleet.DiskModel{fleet.DiskA2, fleet.DiskA3, fleet.DiskD2, fleet.DiskD3}
+
+// ShelfModelPIDelta is Finding 6's effect size — the statistic behind
+// the sweep's shelf_model_pi_delta metric: over the low-end disk
+// models deployed with both shelf enclosure models A and B, the mean
+// relative physical interconnect AFR difference |A−B| / mean(A, B).
+// NaN when no model is deployed with both shelf models (or the rates
+// vanish).
+func (ds *Dataset) ShelfModelPIDelta() float64 {
+	sum, n := 0.0, 0
+	for _, m := range shelfCompareModels {
+		idx := breakdownIndex(ds.AFRByShelfModel(fleet.LowEnd, m, Filter{}))
+		a, okA := idx["Shelf Enclosure Model A"]
+		b, okB := idx["Shelf Enclosure Model B"]
+		if !okA || !okB || a.DiskYears == 0 || b.DiskYears == 0 {
+			continue
+		}
+		pa := a.AFR[failmodel.PhysicalInterconnect]
+		pb := b.AFR[failmodel.PhysicalInterconnect]
+		if pa+pb == 0 {
+			continue
+		}
+		sum += math.Abs(pa-pb) / ((pa + pb) / 2)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
 // Finding 6: shelf enclosure model strongly impacts physical
 // interconnect failures, and different shelf models win for different
 // disk models.
@@ -250,7 +349,7 @@ func (ds *Dataset) finding6() Finding {
 		test   stats.TTestResult
 	}
 	var comps []comparison
-	for _, m := range []fleet.DiskModel{fleet.DiskA2, fleet.DiskA3, fleet.DiskD2, fleet.DiskD3} {
+	for _, m := range shelfCompareModels {
 		bs := ds.AFRByShelfModel(fleet.LowEnd, m, Filter{})
 		idx := breakdownIndex(bs)
 		a, okA := idx["Shelf Enclosure Model A"]
@@ -288,13 +387,41 @@ func (ds *Dataset) finding6() Finding {
 	return f
 }
 
+// multipathClasses are the classes with a dual-path population — the
+// Figure 7 comparison set shared by finding7 and MultipathReductions.
+var multipathClasses = []fleet.SystemClass{fleet.MidRange, fleet.HighEnd}
+
+// MultipathReductions is Finding 7's effect size — the statistic
+// behind the sweep's multipath_total_reduction / multipath_pi_reduction
+// metrics: the fractional subsystem and physical interconnect AFR
+// reductions from single-path to dual-path configurations, averaged
+// over the multipath classes with family H excluded (exactly the
+// finding7 comparison, minus the significance test). Both are NaN
+// unless every class contributes both path configurations with
+// nonzero single-path rates.
+func (ds *Dataset) MultipathReductions() (totalRed, piRed float64) {
+	sumTotal, sumPI, n := 0.0, 0.0, 0
+	for _, class := range multipathClasses {
+		idx := breakdownIndex(ds.AFRByPathConfig(class, Filter{ExcludeFamily: fleet.ProblemFamily}))
+		single, okS := idx["Single Path"]
+		dual, okD := idx["Dual Paths"]
+		if !okS || !okD || single.TotalAFR() == 0 || single.AFR[failmodel.PhysicalInterconnect] == 0 {
+			return math.NaN(), math.NaN()
+		}
+		sumTotal += 1 - dual.TotalAFR()/single.TotalAFR()
+		sumPI += 1 - dual.AFR[failmodel.PhysicalInterconnect]/single.AFR[failmodel.PhysicalInterconnect]
+		n++
+	}
+	return sumTotal / float64(n), sumPI / float64(n)
+}
+
 // Finding 7: dual-path subsystems see 30-40% lower AFR; physical
 // interconnect AFR drops 50-60%.
 func (ds *Dataset) finding7() Finding {
 	f := Finding{ID: 7, Title: "Multipathing cuts subsystem AFR 30-40% (interconnect AFR 50-60%)"}
 	pass := true
 	detail := ""
-	for _, class := range []fleet.SystemClass{fleet.MidRange, fleet.HighEnd} {
+	for _, class := range multipathClasses {
 		// Family H excluded so the problematic family's elevated disk/
 		// protocol rates don't confound the path comparison.
 		bs := ds.AFRByPathConfig(class, Filter{ExcludeFamily: fleet.ProblemFamily})
@@ -336,8 +463,8 @@ func (ds *Dataset) finding8(shelf *GapAnalysis) Finding {
 	// The paper's test: chi-square cannot reject Gamma for disk failure
 	// gaps at 0.05, while the bursty types fit no common distribution.
 	// (In our synthetic pool Weibull narrowly edges Gamma on AIC; the
-	// chi-square accept/reject contrast is the criterion, see
-	// EXPERIMENTS.md E6.)
+	// chi-square accept/reject contrast is the criterion — see the
+	// Finding 8 section of EXPERIMENTS.md.)
 	f.Pass = pi > 3*disk && proto > 2*disk && perf > 2*disk && pi >= proto &&
 		(best == "Gamma" || best == "Weibull") && !gof.Reject(0.05) && piGof.Reject(0.05)
 	f.Detail = fmt.Sprintf("fraction of same-shelf gaps < 10^4s: disk %.0f%%, interconnect %.0f%%, protocol %.0f%%, performance %.0f%%; disk best fit %s (Gamma chi-square p=%.3f; interconnect Gamma chi-square p=%.3g rejects)",

@@ -110,8 +110,8 @@ func TestGapAnalysisSingleEventContainers(t *testing.T) {
 	}
 }
 
-// TestBurstShapeAblation documents the design choice DESIGN.md calls
-// out: the singleton-heavy burst-size distribution is what lets one
+// TestBurstShapeAblation documents a load-bearing design choice:
+// the singleton-heavy burst-size distribution is what lets one
 // generator match both Figure 9 (burstiness) and Figure 10 (P(2)
 // inflation). Raising the singleton share with the event rate held
 // fixed must push the interconnect P(2) ratio toward independence.

@@ -245,7 +245,15 @@ func (w *buildWorker) buildSystem(p *ClassProfile, weights []float64, r *stats.R
 		a.shelfIDs = append(a.shelfIDs, shelfLocal)
 		a.shelfDisk = append(a.shelfDisk, onwardSpan(a.diskIDs))
 
-		numDisks := drawCount(p.DisksPerShelf, r)
+		// Heterogeneous shelf-size mix: a SparseShelfFraction share of
+		// shelves is built around half the class mean. The Bernoulli is
+		// only drawn when the feature is on, so default profiles consume
+		// exactly the historical draw sequence.
+		meanDisks := p.DisksPerShelf
+		if p.SparseShelfFraction > 0 && r.Bernoulli(p.SparseShelfFraction) {
+			meanDisks = meanDisks / 2
+		}
+		numDisks := drawCount(meanDisks, r)
 		if numDisks > MaxDisksPerShelf {
 			numDisks = MaxDisksPerShelf
 		}

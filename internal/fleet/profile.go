@@ -106,8 +106,45 @@ type ClassProfile struct {
 	// 1 confines each group to a single shelf (the Finding 9 ablation).
 	SpanShelves int
 
+	// SparseShelfFraction is the fraction of shelves built at half the
+	// class's mean disk population — a heterogeneous shelf-size mix.
+	// Real fleets are not uniformly packed (expansion shelves start
+	// sparse and fill over time), and shelf occupancy sets both the
+	// per-shelf episode rate and how many victims a burst can claim, so
+	// the sweep uses this dimension to probe the shelf-level burst and
+	// correlation findings. Zero (the default) builds every shelf at the
+	// profile mean and consumes no extra randomness, so default-profile
+	// topologies are unchanged stream for stream.
+	SparseShelfFraction float64
+
 	// Configs are the deployable (shelf model, disk model) combinations.
 	Configs []ShelfConfig
+}
+
+// SkewInstallWindow shifts the class's deployment window to stagger
+// the fleet's age mix: skew in (0, 1] moves the window start toward
+// its end (systems deploy late, so the study observes a young fleet
+// with little exposure), skew in [-1, 0) moves the end toward the
+// start (an old fleet, fully deployed early). The window width shrinks
+// by |skew| either way — cohorts concentrate. Install times still cost
+// exactly one uniform draw per system, so skewing never perturbs any
+// other topology stream.
+func (p *ClassProfile) SkewInstallWindow(skew float64) {
+	if skew == 0 {
+		return
+	}
+	if skew > 1 {
+		skew = 1
+	}
+	if skew < -1 {
+		skew = -1
+	}
+	width := p.InstallWindow.End - p.InstallWindow.Start
+	if skew > 0 {
+		p.InstallWindow.Start += skew * width
+	} else {
+		p.InstallWindow.End += skew * width
+	}
 }
 
 // DefaultProfiles returns the four class profiles calibrated to the

@@ -1,8 +1,17 @@
-package fleet
+// Checkpoint/Reset trial-rollback tests. This file is an external test
+// package so it can drive internal/sim against the fleet: the
+// operational sweep dimensions (churn waves, stochastic repair lag,
+// install-window skew, sparse shelves) exercise rollback paths a
+// hand-built mutation cannot.
+package fleet_test
 
 import (
+	"math"
 	"testing"
 
+	"storagesubsys/internal/failmodel"
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sim"
 	"storagesubsys/internal/simtime"
 )
 
@@ -11,13 +20,13 @@ import (
 // and their shelves, residencies restored, every surviving component
 // equal to a freshly built twin's.
 func TestCheckpointReset(t *testing.T) {
-	f := BuildDefault(0.002, 11)
-	ref := BuildDefault(0.002, 11)
+	f := fleet.BuildDefault(0.002, 11)
+	ref := fleet.BuildDefault(0.002, 11)
 	cp := f.Checkpoint()
 
 	// Simulate the mutations a trial performs: fail and replace a few
 	// disks (the replacement then churns out too), across two shelves.
-	var arena ReplacementArena
+	var arena fleet.ReplacementArena
 	for _, id := range []int{0, 1, f.Shelves[1].Disks[0]} {
 		d := f.Disks[id]
 		d.Remove = simtime.SecondsPerYear
@@ -68,5 +77,184 @@ func TestCheckpointReset(t *testing.T) {
 	base := f.CommitReplacements(&arena)
 	if base != len(ref.Disks) {
 		t.Fatalf("recommit base = %d, want %d", base, len(ref.Disks))
+	}
+}
+
+// opsProfiles returns profiles stressing every fleet-side operational
+// dimension at once: heavy churn waves, a skewed (older) deployment
+// window, and a heterogeneous shelf-size mix.
+func opsProfiles() []fleet.ClassProfile {
+	profiles := fleet.DefaultProfiles()
+	for i := range profiles {
+		profiles[i].ChurnPerDiskYear *= 6
+		profiles[i].SparseShelfFraction = 0.5
+		profiles[i].SkewInstallWindow(-0.4)
+	}
+	return profiles
+}
+
+// opsParams returns failure-model params with a long, stochastic
+// repair lag — the operational repair-discipline dimension.
+func opsParams() *failmodel.Params {
+	p := failmodel.DefaultParams()
+	p.ScaleRepairLag(8)
+	p.RepairLagSigma = 1.2
+	return p
+}
+
+// sameEvents compares two event streams bit for bit.
+func sameEvents(t *testing.T, got, want []failmodel.Event, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: event %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestResetRerunUnderChurnAndRepairLag pins the trial-rollback
+// contract under the operational sweep dimensions: after a simulated
+// trial with heavy churn (many non-failure replacements appended to
+// the fleet) and long stochastic repair lags (replacement install
+// times drawn per failure), Reset must restore the population so
+// exactly that re-simulating with the same seed replays the identical
+// event stream, replacement population, and disk-years — and both
+// must equal a fresh build's run bit for bit.
+func TestResetRerunUnderChurnAndRepairLag(t *testing.T) {
+	profiles := opsProfiles()
+	params := opsParams()
+	const scale, buildSeed, simSeed = 0.01, 7, 99
+
+	f := fleet.BuildWorkers(profiles, scale, buildSeed, 2)
+	cp := f.Checkpoint()
+	asBuilt := len(f.Disks)
+
+	run := func(fl *fleet.Fleet) *sim.Result { return sim.RunWorkers(fl, params, simSeed, 2) }
+
+	res1 := run(f)
+	ev1 := append([]failmodel.Event(nil), res1.Events...)
+	disks1, dy1 := len(f.Disks), f.DiskYears(nil)
+	if disks1 <= asBuilt {
+		t.Fatal("setup: trial produced no replacements; churn/repair-lag dimensions not exercised")
+	}
+
+	// Rolled-back replay must be bit-identical.
+	f.Reset(cp)
+	if len(f.Disks) != asBuilt {
+		t.Fatalf("Reset left %d disks, want the as-built %d", len(f.Disks), asBuilt)
+	}
+	res2 := run(f)
+	sameEvents(t, res2.Events, ev1, "reset replay")
+	if len(f.Disks) != disks1 {
+		t.Fatalf("reset replay: %d disks, want %d", len(f.Disks), disks1)
+	}
+	if dy := f.DiskYears(nil); dy != dy1 {
+		t.Fatalf("reset replay disk-years %v, want %v", dy, dy1)
+	}
+
+	// And must equal a from-scratch build+run, field for field.
+	g := fleet.BuildWorkers(opsProfiles(), scale, buildSeed, 2)
+	res3 := run(g)
+	sameEvents(t, res3.Events, ev1, "fresh twin")
+	if len(g.Disks) != disks1 {
+		t.Fatalf("fresh twin: %d disks, want %d", len(g.Disks), disks1)
+	}
+	for i := range g.Disks {
+		if *g.Disks[i] != *f.Disks[i] {
+			t.Fatalf("disk %d diverged between reset replay and fresh twin: %+v vs %+v",
+				i, *f.Disks[i], *g.Disks[i])
+		}
+	}
+}
+
+// TestResetNewSeedIndependentUnderOps: after Reset, a different
+// simulation seed must yield a different realization over the same
+// as-built population — the Monte-Carlo steady state the sweep's
+// operational scenarios rely on.
+func TestResetNewSeedIndependentUnderOps(t *testing.T) {
+	profiles := opsProfiles()
+	params := opsParams()
+	f := fleet.BuildWorkers(profiles, 0.01, 7, 2)
+	cp := f.Checkpoint()
+
+	a := sim.RunWorkers(f, params, 99, 2)
+	nA := len(a.Events)
+	f.Reset(cp)
+	b := sim.RunWorkers(f, params, 100, 2)
+	if nA == 0 || len(b.Events) == 0 {
+		t.Fatal("setup: empty realizations")
+	}
+	same := len(a.Events) == len(b.Events)
+	if same {
+		for i := range b.Events {
+			if a.Events[i] != b.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds replayed an identical event stream")
+	}
+}
+
+// TestBuildWorkerEquivalenceOpsDims extends the build determinism
+// contract to the new profile knobs: with sparse shelves and a skewed
+// install window (which gate extra RNG draws), every worker count must
+// still produce a field-identical fleet.
+func TestBuildWorkerEquivalenceOpsDims(t *testing.T) {
+	profiles := opsProfiles()
+	ref := fleet.BuildWorkers(profiles, 0.01, 3, 1)
+	for _, workers := range []int{2, 5} {
+		got := fleet.BuildWorkers(opsProfiles(), 0.01, 3, workers)
+		if len(got.Disks) != len(ref.Disks) || len(got.Systems) != len(ref.Systems) ||
+			len(got.Shelves) != len(ref.Shelves) || len(got.Groups) != len(ref.Groups) {
+			t.Fatalf("workers=%d population sizes differ from serial build", workers)
+		}
+		for i := range ref.Disks {
+			if *got.Disks[i] != *ref.Disks[i] {
+				t.Fatalf("workers=%d disk %d = %+v, want %+v", workers, i, *got.Disks[i], *ref.Disks[i])
+			}
+		}
+		for i := range ref.Systems {
+			if got.Systems[i].Install != ref.Systems[i].Install ||
+				got.Systems[i].ChurnPerDiskYear != ref.Systems[i].ChurnPerDiskYear {
+				t.Fatalf("workers=%d system %d header diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestSkewInstallWindow pins the cohort-skew arithmetic and its
+// clamping.
+func TestSkewInstallWindow(t *testing.T) {
+	mk := func(start, end float64) fleet.ClassProfile {
+		var p fleet.ClassProfile
+		p.InstallWindow.Start, p.InstallWindow.End = start, end
+		return p
+	}
+	near := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	p := mk(0.2, 1.0)
+	p.SkewInstallWindow(0.5) // young fleet: start moves halfway to end
+	if !near(p.InstallWindow.Start, 0.6) || p.InstallWindow.End != 1.0 {
+		t.Fatalf("positive skew: window [%v, %v]", p.InstallWindow.Start, p.InstallWindow.End)
+	}
+	p = mk(0.2, 1.0)
+	p.SkewInstallWindow(-0.5) // old fleet: end moves halfway to start
+	if p.InstallWindow.Start != 0.2 || !near(p.InstallWindow.End, 0.6) {
+		t.Fatalf("negative skew: window [%v, %v]", p.InstallWindow.Start, p.InstallWindow.End)
+	}
+	p = mk(0.0, 1.0)
+	p.SkewInstallWindow(2) // clamped to 1: window collapses to the end
+	if p.InstallWindow.Start != 1.0 {
+		t.Fatalf("clamped skew: start %v, want 1.0", p.InstallWindow.Start)
+	}
+	p = mk(0.3, 0.8)
+	p.SkewInstallWindow(0)
+	if p.InstallWindow.Start != 0.3 || p.InstallWindow.End != 0.8 {
+		t.Fatal("zero skew must be a no-op")
 	}
 }

@@ -198,7 +198,7 @@ type System struct {
 	ID         int
 	Class      SystemClass
 	ShelfModel ShelfModel
-	DiskModel  DiskModel // systems are homogeneous in disk model (see DESIGN.md)
+	DiskModel  DiskModel // systems are homogeneous in disk model (the Figure 5/6 grouping unit)
 	Paths      PathConfig
 	Install    simtime.Seconds // deployment time
 	Shelves    []int           // fleet shelf IDs

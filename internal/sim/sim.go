@@ -57,6 +57,7 @@ const (
 	streamPerf                     // shelf performance episodes
 	streamLoop                     // system loop-level interconnect episodes
 	streamProto                    // system protocol episodes
+	streamRepair                   // per-slot stochastic repair lags (RepairLagSigma > 0 only)
 )
 
 // streamKey combines a stream constant with a component index. The
@@ -280,6 +281,13 @@ func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.
 	chain = append(chain, occupancy{disk: d.ID, from: d.Install, to: end})
 	cur := d
 	causeRNG := r.Split(streamCause)
+	// Stochastic repair lags draw from their own slot stream, and only
+	// when the distribution is enabled: the default deterministic lag
+	// consumes no randomness, so calibrated streams are untouched.
+	var repairRNG stats.RNG
+	if p.RepairLagSigma > 0 {
+		repairRNG = r.Split(streamRepair)
+	}
 	for _, c := range cands {
 		if c.t < cur.Install || c.t >= end {
 			continue // slot empty (repair gap) or outside the window
@@ -306,7 +314,11 @@ func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.
 			cur.Remove = c.t
 			cur.Replaced = true
 			chain[len(chain)-1].to = c.t
-			reinstall := c.t + p.RepairLag
+			lag := p.RepairLag
+			if p.RepairLagSigma > 0 {
+				lag = lognormalGap(p.RepairLag, p.RepairLagSigma, &repairRNG)
+			}
+			reinstall := c.t + lag
 			if reinstall >= end {
 				return chain
 			}

@@ -22,6 +22,12 @@ import (
 //     text — quantifies the mining pipeline's losses.
 //   - scale: the same population model at three scales — a scale
 //     sensitivity check for every reported statistic.
+//   - ops: the operational dimensions field studies show move failure
+//     attribution the most — deployment-age skew (young vs old
+//     cohorts), proactive churn waves, repair-lag discipline (the RAID
+//     vulnerability window), and heterogeneous shelf occupancy. This is
+//     the grid cmd/expreport confronts with the paper's published
+//     numbers in EXPERIMENTS.md.
 var Grids = map[string][]Scenario{
 	"default": {
 		{Name: "baseline"},
@@ -45,6 +51,18 @@ var Grids = map[string][]Scenario{
 		{Name: "scale-0.10", Scale: 0.10},
 		{Name: "scale-0.25", Scale: 0.25},
 		{Name: "scale-0.50", Scale: 0.50},
+	},
+	// slow-repair sits right after baseline: it is the one ops scenario
+	// that only overrides the failure model, so this order lets a
+	// sequential worker's fleet cache serve it with a Reset instead of
+	// a rebuild (see sweep.fleetKey).
+	"ops": {
+		{Name: "baseline"},
+		{Name: "slow-repair", RepairLagMult: 8, RepairLagSigma: 1.0},
+		{Name: "young-fleet", InstallSkew: 0.5},
+		{Name: "old-fleet", InstallSkew: -0.5},
+		{Name: "churn-x4", ChurnMult: 4},
+		{Name: "sparse-shelves", SparseShelfFrac: 0.5},
 	},
 }
 

@@ -130,7 +130,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // Describe renders the scenario's overrides against the sweep's base
 // scale, for table headers.
 func (s Scenario) Describe(baseScale float64) string {
-	parts := []string{fmt.Sprintf("scale %.3g", s.effScale(baseScale))}
+	parts := []string{fmt.Sprintf("scale %.3g", s.EffScale(baseScale))}
 	if s.SpanShelves > 0 {
 		parts = append(parts, fmt.Sprintf("RAID span %d shelf(s)", s.SpanShelves))
 	}
@@ -145,6 +145,23 @@ func (s Scenario) Describe(baseScale float64) string {
 	}
 	if s.PISingletonProb > 0 {
 		parts = append(parts, fmt.Sprintf("PI singleton prob %g", s.PISingletonProb))
+	}
+	if s.InstallSkew > 0 {
+		parts = append(parts, fmt.Sprintf("install skew +%g (young fleet)", s.InstallSkew))
+	} else if s.InstallSkew < 0 {
+		parts = append(parts, fmt.Sprintf("install skew %g (old fleet)", s.InstallSkew))
+	}
+	if s.ChurnMult > 0 {
+		parts = append(parts, fmt.Sprintf("churn x%g", s.ChurnMult))
+	}
+	if s.RepairLagMult > 0 {
+		parts = append(parts, fmt.Sprintf("repair lag x%g", s.RepairLagMult))
+	}
+	if s.RepairLagSigma > 0 {
+		parts = append(parts, fmt.Sprintf("repair lag lognormal sigma %g", s.RepairLagSigma))
+	}
+	if s.SparseShelfFrac > 0 {
+		parts = append(parts, fmt.Sprintf("%g%% shelves half-populated", s.SparseShelfFrac*100))
 	}
 	return s.Name + " (" + strings.Join(parts, ", ") + ")"
 }
@@ -198,10 +215,10 @@ func (r *Result) Check(cfg Config) error {
 		return fmt.Errorf("sweep: check config has %d scenarios, result has %d", len(scens), len(r.Scenarios))
 	}
 	for si, ss := range r.Scenarios {
-		run := scenarioRun{scen: scens[si], scale: scens[si].effScale(cfg.Scale), span: scens[si].SpanShelves, params: scens[si].params()}
+		run := newScenarioRun(scens[si], cfg)
 		f := run.buildFleet(cfg.Seed)
 		env := experiments.RunTrial(experiments.Config{
-			Scale: run.scale, Seed: cfg.Seed, Mine: run.scen.Mine, Params: run.params,
+			Scale: run.key.scale, Seed: cfg.Seed, Mine: run.scen.Mine, Params: run.params,
 			Workers: cfg.Workers,
 		}, f, trialSeed(cfg.Seed, 0), nil)
 		vals := trialVector(env, cfg.Findings, make([]float64, 0, len(Metrics)))

@@ -70,12 +70,35 @@ type Scenario struct {
 	// probability (0 = default; 1 = no multi-event bursts, an
 	// independence ablation for Findings 8 and 11).
 	PISingletonProb float64 `json:"piSingletonProb,omitempty"`
+	// InstallSkew staggers the deployment cohorts: positive values in
+	// (0, 1] compress every class's install window toward its end (a
+	// young fleet, deployed late with little exposure), negative values
+	// in [-1, 0) toward its start (an old fleet, fully deployed early).
+	// See fleet.ClassProfile.SkewInstallWindow. 0 = inherit.
+	InstallSkew float64 `json:"installSkew,omitempty"`
+	// ChurnMult multiplies every class's proactive (non-failure) disk
+	// replacement rate — mid-history replacement waves that split slot
+	// residency across more Disk records (0 = unchanged).
+	ChurnMult float64 `json:"churnMult,omitempty"`
+	// RepairLagMult multiplies the repair-lag median — how long a failed
+	// disk's slot stays empty, the RAID vulnerability window
+	// (0 = unchanged).
+	RepairLagMult float64 `json:"repairLagMult,omitempty"`
+	// RepairLagSigma makes the repair lag stochastic: each repair draws
+	// a lognormal lag with median RepairLag (after RepairLagMult) and
+	// this log-space sigma (0 = deterministic default).
+	RepairLagSigma float64 `json:"repairLagSigma,omitempty"`
+	// SparseShelfFrac builds this fraction of shelves at half the class
+	// mean disk population — a heterogeneous shelf-size mix
+	// (0 = uniform default).
+	SparseShelfFrac float64 `json:"sparseShelfFrac,omitempty"`
 }
 
 // params materializes the scenario's failure-model overrides, or nil
 // when the defaults apply unchanged.
 func (s Scenario) params() *failmodel.Params {
-	if s.DiskAFRMult == 0 && s.PIRateMult == 0 && s.PISingletonProb == 0 {
+	if s.DiskAFRMult == 0 && s.PIRateMult == 0 && s.PISingletonProb == 0 &&
+		s.RepairLagMult == 0 && s.RepairLagSigma == 0 {
 		return nil
 	}
 	p := failmodel.DefaultParams()
@@ -88,12 +111,19 @@ func (s Scenario) params() *failmodel.Params {
 	if s.PISingletonProb > 0 {
 		p.PIBurst.SingletonProb = s.PISingletonProb
 	}
+	if s.RepairLagMult > 0 {
+		p.ScaleRepairLag(s.RepairLagMult)
+	}
+	if s.RepairLagSigma > 0 {
+		p.RepairLagSigma = s.RepairLagSigma
+	}
 	return p
 }
 
-// effScale resolves the scenario's population scale against the
-// sweep's base scale.
-func (s Scenario) effScale(base float64) float64 {
+// EffScale resolves the scenario's population scale against the
+// sweep's base scale — the single resolution rule, shared with
+// internal/expreport (which scales full-population paper bands by it).
+func (s Scenario) EffScale(base float64) float64 {
 	if s.Scale > 0 {
 		return s.Scale
 	}
@@ -147,25 +177,63 @@ func trialSeed(seed int64, trial int) int64 {
 	return int64(c.Uint64())
 }
 
+// fleetKey is the subset of a resolved scenario that determines its
+// fleet topology. Workers compare keys to decide whether a scenario
+// boundary needs a rebuild or just a Reset of the cached fleet; two
+// scenarios differing only in failure-model overrides share one
+// population.
+type fleetKey struct {
+	scale  float64
+	span   int
+	skew   float64
+	churn  float64
+	sparse float64
+}
+
 // scenarioRun is a scenario resolved against the sweep config, shared
 // read-only by the workers.
 type scenarioRun struct {
 	scen   Scenario
-	scale  float64
-	span   int
+	key    fleetKey
 	params *failmodel.Params
+}
+
+// newScenarioRun resolves a scenario against the sweep config — the
+// single resolution path shared by Run and Result.Check, so overrides
+// can never apply differently between the sweep and its self-check.
+func newScenarioRun(s Scenario, cfg Config) scenarioRun {
+	return scenarioRun{
+		scen: s,
+		key: fleetKey{
+			scale:  s.EffScale(cfg.Scale),
+			span:   s.SpanShelves,
+			skew:   s.InstallSkew,
+			churn:  s.ChurnMult,
+			sparse: s.SparseShelfFrac,
+		},
+		params: s.params(),
+	}
 }
 
 // buildFleet constructs the scenario's population. Worker count 1:
 // sweep parallelism lives at the trial level.
 func (r *scenarioRun) buildFleet(seed int64) *fleet.Fleet {
 	profiles := fleet.DefaultProfiles()
-	if r.span > 0 {
-		for i := range profiles {
-			profiles[i].SpanShelves = r.span
+	for i := range profiles {
+		if r.key.span > 0 {
+			profiles[i].SpanShelves = r.key.span
+		}
+		if r.key.skew != 0 {
+			profiles[i].SkewInstallWindow(r.key.skew)
+		}
+		if r.key.churn > 0 {
+			profiles[i].ChurnPerDiskYear *= r.key.churn
+		}
+		if r.key.sparse > 0 {
+			profiles[i].SparseShelfFraction = r.key.sparse
 		}
 	}
-	return fleet.BuildWorkers(profiles, r.scale, seed, 1)
+	return fleet.BuildWorkers(profiles, r.key.scale, seed, 1)
 }
 
 // trialOut is one finished trial's metric vector, tagged with its
@@ -209,7 +277,7 @@ func RunProgress(cfg Config, progress Progress) *Result {
 
 	runs := make([]scenarioRun, nScen)
 	for i, s := range scens {
-		runs[i] = scenarioRun{scen: s, scale: s.effScale(cfg.Scale), span: s.SpanShelves, params: s.params()}
+		runs[i] = newScenarioRun(s, cfg)
 	}
 
 	// Per-scenario, per-metric aggregators, fed only by the collector.
@@ -244,19 +312,19 @@ func RunProgress(cfg Config, progress Progress) *Result {
 			defer wg.Done()
 			var f *fleet.Fleet
 			var cp fleet.Checkpoint
-			haveScale, haveSpan := 0.0, -1
+			var haveKey fleetKey
 			var scratch sim.Scratch
 			for j := lo; j < hi; j++ {
 				r := &runs[j/trials]
-				if f == nil || r.scale != haveScale || r.span != haveSpan {
+				if f == nil || r.key != haveKey {
 					f = r.buildFleet(cfg.Seed)
 					cp = f.Checkpoint()
-					haveScale, haveSpan = r.scale, r.span
+					haveKey = r.key
 				} else {
 					f.Reset(cp)
 				}
 				env := experiments.RunTrial(experiments.Config{
-					Scale:   r.scale,
+					Scale:   r.key.scale,
 					Seed:    cfg.Seed,
 					Mine:    r.scen.Mine,
 					Params:  r.params,

@@ -45,6 +45,98 @@ func TestSweepWorkerCountEquivalence(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerCountEquivalenceOpsGrid extends the byte-identity
+// contract to the operational-dimension grid: install-window skew,
+// churn, stochastic repair lag and the sparse-shelf mix must all stay
+// bit-identical for every worker count (the acceptance criterion for
+// the PR 5 dimensions).
+func TestSweepWorkerCountEquivalenceOpsGrid(t *testing.T) {
+	cfg := func(workers int) Config {
+		return Config{Trials: 2, Seed: 42, Scale: 0.004, Workers: workers, Scenarios: Grids["ops"]}
+	}
+	ref := resultJSON(t, cfg(1))
+	for _, workers := range []int{3, 7} {
+		if got := resultJSON(t, cfg(workers)); !bytes.Equal(ref, got) {
+			t.Fatalf("ops grid: workers=%d JSON differs from workers=1", workers)
+		}
+	}
+}
+
+// TestFleetKeySeparation pins which scenario overrides force a fleet
+// rebuild: topology dimensions (scale, span, skew, churn, shelf mix)
+// must key the worker's fleet cache, while pure failure-model
+// overrides (rates, repair lag) must share the cached population.
+func TestFleetKeySeparation(t *testing.T) {
+	cfg := DefaultConfig()
+	base := newScenarioRun(Scenario{Name: "a"}, cfg)
+	sameFleet := []Scenario{
+		{Name: "b", DiskAFRMult: 2},
+		{Name: "c", RepairLagMult: 8, RepairLagSigma: 1},
+		{Name: "d", PISingletonProb: 1},
+		{Name: "e", Mine: true},
+	}
+	for _, s := range sameFleet {
+		if r := newScenarioRun(s, cfg); r.key != base.key {
+			t.Errorf("scenario %q must share the baseline fleet, key %+v != %+v", s.Name, r.key, base.key)
+		}
+	}
+	newFleet := []Scenario{
+		{Name: "f", Scale: 0.5},
+		{Name: "g", SpanShelves: 1},
+		{Name: "h", InstallSkew: 0.5},
+		{Name: "i", ChurnMult: 4},
+		{Name: "j", SparseShelfFrac: 0.5},
+	}
+	for _, s := range newFleet {
+		if r := newScenarioRun(s, cfg); r.key == base.key {
+			t.Errorf("scenario %q must rebuild the fleet, but shares the baseline key", s.Name)
+		}
+	}
+	// Failure-model overrides materialize params; topology-only ones
+	// must not.
+	if newScenarioRun(Scenario{Name: "k", ChurnMult: 4}, cfg).params != nil {
+		t.Error("churn is a build-time dimension; it must not materialize failmodel params")
+	}
+	if newScenarioRun(Scenario{Name: "l", RepairLagMult: 8}, cfg).params == nil {
+		t.Error("repair lag is a failmodel dimension; it must materialize params")
+	}
+}
+
+// TestOpsDimensionsChangeRealizations: each operational dimension must
+// actually alter the simulated history (guards against an override
+// silently not being plumbed through).
+func TestOpsDimensionsChangeRealizations(t *testing.T) {
+	cfg := func(s Scenario) Config {
+		return Config{Trials: 1, Seed: 42, Scale: 0.01, Workers: 2, Scenarios: []Scenario{s}}
+	}
+	baseline := Run(cfg(Scenario{Name: "baseline"}))
+	baseEvents := float64(baseline.Scenarios[0].Metrics[metricIndex("events_visible")].Point)
+	if baseEvents <= 0 {
+		t.Fatal("baseline produced no events")
+	}
+	for _, s := range []Scenario{
+		{Name: "young", InstallSkew: 0.5},
+		{Name: "old", InstallSkew: -0.5},
+		{Name: "churn", ChurnMult: 16},
+		{Name: "repair", RepairLagMult: 64, RepairLagSigma: 1.5},
+		{Name: "sparse", SparseShelfFrac: 0.9},
+	} {
+		res := Run(cfg(s))
+		same := true
+		for mi, m := range res.Scenarios[0].Metrics {
+			b := baseline.Scenarios[0].Metrics[mi]
+			gotNaN, baseNaN := math.IsNaN(float64(m.Point)), math.IsNaN(float64(b.Point))
+			if gotNaN != baseNaN || (!gotNaN && m.Point != b.Point) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("scenario %q reproduced the baseline metric vector exactly; dimension not plumbed", s.Name)
+		}
+	}
+}
+
 // TestSweepRepeatDeterminism: the same config run twice produces the
 // same bytes (pins the reservoir seeding and every aggregation path).
 func TestSweepRepeatDeterminism(t *testing.T) {
