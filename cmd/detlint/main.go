@@ -1,0 +1,73 @@
+// Command detlint runs the repository's custom static-analysis suite
+// (internal/lint): the vet-time gate for the determinism, RNG-stream,
+// and hot-path allocation contracts documented in ARCHITECTURE.md.
+//
+// Usage:
+//
+//	detlint [-list] [packages]
+//
+// Packages are go-style patterns relative to the module root
+// (default ./...). Exit status: 0 clean, 1 diagnostics reported,
+// 2 usage or load error.
+//
+// The analyzers:
+//
+//	detmap    order-sensitive map iteration in deterministic-output
+//	          packages (internal/core, sweep, expreport, report,
+//	          experiments)
+//	strayrand math/rand, crypto/rand, or wall-clock reads anywhere
+//	          under internal/ — randomness must flow through
+//	          internal/stats stream splits
+//	streamid  duplicate or colliding RNG stream identities within a
+//	          //detlint:streamdomain, across packages
+//	hotalloc  allocation-causing constructs inside //detlint:hotpath
+//	          functions
+//
+// Sites that are provably safe carry //detlint:ignore <analyzer>
+// <reason> annotations; the reason is mandatory and malformed
+// directives are diagnostics themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"storagesubsys/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer names and docs, then exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

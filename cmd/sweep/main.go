@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sweep [-trials 20] [-grid default|burst|mine|scale|smoke|file.json]
+//	sweep [-trials 20] [-grid default|burst|mine|scale|smoke|ops|file.json]
 //	      [-scale 0.25] [-seed 42] [-workers N] [-findings] [-json] [-check]
 //
 // Each scenario's fleet is built once and rolled back between trials,

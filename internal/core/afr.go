@@ -121,8 +121,17 @@ func (ds *Dataset) AFRByGroup(key GroupKey, fl Filter) []Breakdown {
 		byLabel[label].Events[e.Type]++
 	}
 
+	// Iterate labels in sorted order rather than map order: the output
+	// order is part of the byte-determinism contract, and a non-stable
+	// sort over map-ordered elements would depend on label uniqueness.
+	labels := make([]string, 0, len(byLabel))
+	for label := range byLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	out := make([]Breakdown, 0, len(byLabel))
-	for _, b := range byLabel {
+	for _, label := range labels {
+		b := byLabel[label]
 		if b.DiskYears > 0 {
 			for _, t := range failmodel.Types {
 				b.AFR[t] = float64(b.Events[t]) / b.DiskYears
@@ -130,7 +139,6 @@ func (ds *Dataset) AFRByGroup(key GroupKey, fl Filter) []Breakdown {
 		}
 		out = append(out, *b)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
 }
 

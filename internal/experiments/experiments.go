@@ -81,12 +81,15 @@ func Setup(cfg Config) *Env {
 // installs). scratch may be nil for one-shot runs; a sweep passes a
 // per-worker sim.Scratch so repeated trials recycle the simulation
 // buffers (see sim.RunWorkersScratch for the aliasing contract).
+//
+//detlint:hotpath
 func RunTrial(cfg Config, f *fleet.Fleet, simSeed int64, scratch *sim.Scratch) *Env {
 	params := cfg.Params
 	if params == nil {
 		params = failmodel.DefaultParams()
 	}
 	res := sim.RunWorkersScratch(f, params, simSeed, cfg.Workers, scratch)
+	//detlint:ignore hotalloc the Env is the trial's output envelope; one allocation per trial, retained by the caller
 	env := &Env{Config: cfg, Fleet: f, Params: params}
 	if cfg.Mine {
 		db := autosupport.Collect(f, res.Events)

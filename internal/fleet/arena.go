@@ -150,6 +150,7 @@ type diskQueue struct {
 	head, count int
 }
 
+//detlint:hotpath
 func (q *diskQueue) popFront(buf []int) int {
 	v := buf[q.start+q.head]
 	q.head++
@@ -160,6 +161,7 @@ func (q *diskQueue) popFront(buf []int) int {
 	return v
 }
 
+//detlint:hotpath
 func (q *diskQueue) pushBack(buf []int, v int) {
 	t := q.head + q.count
 	if t >= q.size {
@@ -189,6 +191,8 @@ type buildWorker struct {
 
 // growInts returns s resized to n, reallocating only when capacity is
 // exceeded. Contents are unspecified.
+//
+//detlint:hotpath
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
@@ -204,6 +208,8 @@ func growInts(s []int, n int) []int {
 // ablation case). The draw order — and therefore the layout — is
 // identical to the historical per-system map/queue implementation; only
 // the bookkeeping moved into recycled worker scratch.
+//
+//detlint:hotpath
 func (w *buildWorker) layoutRAIDGroups(sysLocal, sysDiskOff int, p *ClassProfile, r *stats.RNG) {
 	a := &w.arena
 	nShelves := a.sysShelf[sysLocal].n

@@ -14,6 +14,13 @@ import (
 // class or growing a class's population never perturbs the structure of
 // existing systems — and any (class, system) job can be built by any
 // worker with no shared draw state.
+//
+// The "build" domain is the namespace under the construction root
+// NewRNG(buildSeed); it is distinct from the simulation's "sim" domain
+// (seeded with seed+1), so identities need only be unique within this
+// domain — detlint's streamid analyzer enforces it.
+//
+//detlint:streamdomain build
 const (
 	streamClass  uint64 = 1 // + class ordinal
 	streamSystem uint64 = 2 // + system ordinal within the class
@@ -205,6 +212,8 @@ func estimateShard(profiles []ClassProfile, counts []int, lo, hi int) (systems, 
 // worker's arena using only arena-local indices. The draw sequence is
 // identical to the historical fleet-mutating builder, so topologies are
 // unchanged stream-for-stream.
+//
+//detlint:hotpath
 func (w *buildWorker) buildSystem(p *ClassProfile, weights []float64, r *stats.RNG) {
 	a := &w.arena
 	sysLocal := len(a.systems)
@@ -281,6 +290,8 @@ func (w *buildWorker) buildSystem(p *ClassProfile, weights []float64, r *stats.R
 
 // onwardSpan starts a span at the slab's current end; the caller sets n
 // once the component's sublist is complete.
+//
+//detlint:hotpath
 func onwardSpan(slab []int) span {
 	return span{off: len(slab)}
 }
@@ -293,6 +304,8 @@ func onwardSpan(slab []int) span {
 // Bernoulli draw whose outcome could not matter; removing it shifts no
 // default-profile stream, because every default mean exceeds 1 — see
 // TestDrawCountSmallMean — so no seed re-derivation was needed.)
+//
+//detlint:hotpath
 func drawCount(mean float64, r *stats.RNG) int {
 	if mean <= 1 {
 		return 1

@@ -12,6 +12,8 @@ const serialHexDigits = "0123456789ABCDEF"
 // zero-padded hex width. IDs below 2^32 — every fleet built at any
 // feasible scale — encode in exactly 9 bytes; wider IDs widen the field
 // just as %X would.
+//
+//detlint:hotpath
 func serialLen(id int) int {
 	n := 1
 	for v := uint64(id); v > 0xF; v >>= 4 {
@@ -26,6 +28,8 @@ func serialLen(id int) int {
 // appendSerial appends the serial for the given non-negative disk ID to
 // dst and returns the extended slice. It allocates only if dst lacks
 // capacity.
+//
+//detlint:hotpath
 func appendSerial(dst []byte, id int) []byte {
 	digits := serialLen(id) - 1
 	dst = append(dst, 'S')

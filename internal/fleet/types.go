@@ -298,11 +298,14 @@ type ReplacementArena struct {
 // and no serial; both are finalized by Fleet.CommitReplacements. After
 // a Reset, Add recycles the previous run's records instead of
 // allocating.
+//
+//detlint:hotpath
 func (a *ReplacementArena) Add(failed *Disk, at simtime.Seconds) *Disk {
 	var nd *Disk
 	if a.live < len(a.disks) {
 		nd = a.disks[a.live]
 	} else {
+		//detlint:ignore hotalloc cold growth branch: allocates only until the arena reaches the run's high-water mark, then recycles forever
 		nd = new(Disk)
 		a.disks = append(a.disks, nd)
 	}
@@ -324,6 +327,8 @@ func (a *ReplacementArena) Add(failed *Disk, at simtime.Seconds) *Disk {
 func (a *ReplacementArena) Len() int { return a.live }
 
 // Disk returns the arena disk with the given provisional (negative) ID.
+//
+//detlint:hotpath
 func (a *ReplacementArena) Disk(provisional int) *Disk { return a.disks[-provisional-1] }
 
 // Reset empties the arena for another simulation run while keeping the
@@ -340,6 +345,8 @@ func (a *ReplacementArena) Reset() { a.live = 0 }
 // arenas in system-ID order reproduces exactly the IDs a serial
 // simulation would have assigned. An arena must be committed at most
 // once per run; Reset rearms it.
+//
+//detlint:hotpath
 func (f *Fleet) CommitReplacements(a *ReplacementArena) (base int) {
 	base = len(f.Disks)
 	for i, d := range a.disks[:a.live] {

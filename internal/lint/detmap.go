@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detmapAnalyzer flags `range` over a map in the deterministic-output
+// packages: map iteration order is randomized per run, so any
+// order-sensitive fold over it (float accumulation, rendering, event
+// emission) breaks the byte-identity contract. The same bug class was
+// fixed twice before this gate existed (gap-fit pooling in PR 2,
+// Breakdown.TotalAFR in PR 4).
+//
+// A range over a map is exempt when its body is provably
+// order-insensitive:
+//
+//   - append-only key/value collection (`s = append(s, ...)`), the
+//     repository's collect-then-sort idiom — the caller is expected to
+//     sort the slice before any order-sensitive use;
+//   - integer accumulation (`n += v`, `n++`, `n |= v`): integer
+//     addition is associative and commutative, unlike floats;
+//   - writes into another map indexed by the loop key
+//     (`dst[k] = ...`): each iteration touches a distinct key;
+//   - `if`/`switch`/`continue` control flow around the above.
+//
+// Everything else needs sorted keys or a
+// `//detlint:ignore detmap <reason>` annotation.
+func detmapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "detmap",
+		Doc:  "flag order-sensitive iteration over maps in deterministic-output packages",
+		Match: scoped("detmap",
+			Module+"/internal/core",
+			Module+"/internal/sweep",
+			Module+"/internal/expreport",
+			Module+"/internal/report",
+			Module+"/internal/experiments",
+		),
+		Run: runDetmap,
+	}
+}
+
+func runDetmap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s has an order-sensitive body; iterate sorted keys instead (map iteration order is randomized and breaks byte-determinism)", types.ExprString(rs.X))
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in the range
+// body is one of the whitelisted order-insensitive forms.
+func orderInsensitiveBody(pass *Pass, rs *ast.RangeStmt) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	for _, stmt := range rs.Body.List {
+		if !orderInsensitiveStmt(pass, key, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, key *ast.Ident, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, key, s)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, s.X)
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, key, s.Init) {
+			return false
+		}
+		if !orderInsensitiveStmt(pass, key, s.Body) {
+			return false
+		}
+		return s.Else == nil || orderInsensitiveStmt(pass, key, s.Else)
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if !orderInsensitiveStmt(pass, key, inner) {
+				return false
+			}
+		}
+		return true
+	case *ast.SwitchStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, key, s.Init) {
+			return false
+		}
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				return false
+			}
+			for _, inner := range cc.Body {
+				if !orderInsensitiveStmt(pass, key, inner) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+func orderInsensitiveAssign(pass *Pass, key *ast.Ident, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// s = append(s, ...): the collect idiom. The target must be the
+		// appended slice itself, so the statement only accumulates.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+			lhs, ok1 := s.Lhs[0].(*ast.Ident)
+			arg, ok2 := call.Args[0].(*ast.Ident)
+			return ok1 && ok2 && pass.Info.ObjectOf(lhs) == pass.Info.ObjectOf(arg)
+		}
+		// dst[k] = v with k the loop key: distinct key per iteration.
+		if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok && key != nil {
+			if _, isMap := pass.Info.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+				if ki, ok := idx.Index.(*ast.Ident); ok {
+					return pass.Info.ObjectOf(ki) == pass.Info.ObjectOf(key)
+				}
+			}
+		}
+		return false
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Associative-commutative only over integers; float addition is
+		// order-sensitive — exactly the bug class this analyzer exists
+		// to catch.
+		return len(s.Lhs) == 1 && isIntegerExpr(pass, s.Lhs[0])
+	}
+	return false
+}
+
+// isIntegerExpr reports whether e has an integer type.
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,332 @@
+// Package lint implements detlint, the repository's custom static
+// analysis suite. It mechanically enforces the contracts the
+// determinism guarantees rest on (see ARCHITECTURE.md): sorted map
+// iteration in deterministic-output packages (detmap), no stray
+// randomness or wall-clock reads outside the stats.RNG substrate
+// (strayrand), collision-free RNG stream identities (streamid), and
+// allocation-free hot paths (hotalloc).
+//
+// The suite is built on the stdlib go/parser + go/types only — no
+// golang.org/x/tools — preserving the module's zero-external-dependency
+// property. cmd/detlint is the CLI; CI runs it as a gate next to vet
+// and gofmt.
+//
+// Three comment directives drive the suite:
+//
+//	//detlint:hotpath
+//	    Marks the following function as a zero-allocation hot path;
+//	    hotalloc flags allocation-causing constructs inside it.
+//
+//	//detlint:streamdomain <name>
+//	    Names the RNG split domain of a stream-constant const block.
+//	    Constants sharing a domain must have globally distinct
+//	    identities (streamid), because they may be split off a common
+//	    parent stream.
+//
+//	//detlint:ignore <analyzer> <reason>
+//	    Suppresses the named analyzer's diagnostics on the same line
+//	    and the next line. The reason is mandatory: every suppression
+//	    documents why the site is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, with its position resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check of the suite. Run is invoked once per matched
+// package; Finish (optional) once after every package has been
+// visited, for cross-package checks such as streamid's collision
+// detection. Analyzers carry per-run state in their closures, so a
+// fresh set must be constructed per Run invocation (see Analyzers).
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Match reports whether the analyzer applies to a package,
+	// by import path.
+	Match func(path string) bool
+	// Run analyzes one package.
+	Run func(*Pass)
+	// Finish, if non-nil, reports cross-package findings after all
+	// packages have been visited.
+	Finish func(report ReportFunc)
+}
+
+// ReportFunc records a finding at pos inside pkg.
+type ReportFunc func(pkg *Package, pos token.Pos, format string, args ...any)
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	*Package
+	analyzer string
+	report   ReportFunc
+}
+
+// Reportf records a finding at pos in the pass's package.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.Package, pos, format, args...)
+}
+
+// Module is the import-path prefix of the repository this suite is
+// built for. The analyzers' package scopes are declared against it.
+const Module = "storagesubsys"
+
+// Analyzers returns a fresh instance of the full suite. The returned
+// analyzers share no state with previous instances, so each Run call
+// gets its own cross-package accumulators.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		detmapAnalyzer(),
+		strayrandAnalyzer(),
+		streamidAnalyzer(),
+		hotallocAnalyzer(),
+	}
+}
+
+// scoped builds a Match function: the exact import paths listed, plus
+// the analyzer's own golden fixture packages under
+// internal/lint/testdata/<name>/ (so fixtures exercise the same
+// default configuration the repository gate runs; ordinary ./...
+// pattern walks never descend into testdata).
+func scoped(name string, exact ...string) func(string) bool {
+	return func(path string) bool {
+		for _, e := range exact {
+			if path == e {
+				return true
+			}
+		}
+		return strings.Contains(path, "/lint/testdata/"+name+"/") ||
+			strings.HasSuffix(path, "/lint/testdata/"+name)
+	}
+}
+
+// rawDiag is a finding before position resolution and suppression
+// filtering.
+type rawDiag struct {
+	pkg      *Package
+	pos      token.Pos
+	analyzer string
+	msg      string
+}
+
+// Run applies the analyzers to the packages they match, runs the
+// cross-package Finish hooks, validates every //detlint: directive,
+// and filters findings through //detlint:ignore suppressions. The
+// returned diagnostics are sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var raw []rawDiag
+	report := func(analyzer string) ReportFunc {
+		return func(pkg *Package, pos token.Pos, format string, args ...any) {
+			raw = append(raw, rawDiag{pkg, pos, analyzer, fmt.Sprintf(format, args...)})
+		}
+	}
+	for _, pkg := range pkgs {
+		checkDirectives(pkg, analyzers, report("detlint"))
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Package: pkg, analyzer: a.Name, report: report(a.Name)})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(report(a.Name))
+		}
+	}
+
+	// Suppression: an ignore directive covers its own line and the
+	// next, per file, per analyzer.
+	ignores := map[*Package]map[string]map[int]map[string]bool{}
+	var out []Diagnostic
+	for _, d := range raw {
+		pos := d.pkg.Fset.Position(d.pos)
+		if d.analyzer != "detlint" {
+			files, ok := ignores[d.pkg]
+			if !ok {
+				files = ignoreIndex(d.pkg)
+				ignores[d.pkg] = files
+			}
+			if byLine := files[pos.Filename]; byLine[pos.Line][d.analyzer] {
+				continue
+			}
+		}
+		out = append(out, Diagnostic{Pos: pos, Analyzer: d.analyzer, Message: d.msg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// Directive verbs.
+const (
+	dirIgnore       = "ignore"
+	dirHotpath      = "hotpath"
+	dirStreamDomain = "streamdomain"
+)
+
+// directive is one parsed //detlint: comment.
+type directive struct {
+	pos  token.Pos
+	verb string
+	args []string // fields after the verb
+}
+
+// parseDirective parses a //detlint: comment, returning ok=false for
+// ordinary comments.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	rest, ok := strings.CutPrefix(c.Text, "//detlint:")
+	if !ok {
+		return directive{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return directive{pos: c.Pos()}, true
+	}
+	return directive{pos: c.Pos(), verb: fields[0], args: fields[1:]}, true
+}
+
+// directives yields every //detlint: directive in the file.
+func directives(f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectives validates every //detlint: comment in the package:
+// unknown verbs, ignores without a known analyzer or without a reason,
+// and streamdomain without a name are all findings themselves, so a
+// suppression can never silently decay into a no-op.
+func checkDirectives(pkg *Package, analyzers []*Analyzer, report ReportFunc) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, d := range directives(f) {
+			switch d.verb {
+			case dirIgnore:
+				if len(d.args) == 0 || !known[d.args[0]] {
+					report(pkg, d.pos, "malformed directive: //detlint:ignore needs a known analyzer name (have %v)", analyzerNames(analyzers))
+				} else if len(d.args) < 2 {
+					report(pkg, d.pos, "malformed directive: //detlint:ignore %s needs a reason", d.args[0])
+				}
+			case dirHotpath:
+				if len(d.args) != 0 {
+					report(pkg, d.pos, "malformed directive: //detlint:hotpath takes no arguments")
+				}
+			case dirStreamDomain:
+				if len(d.args) != 1 {
+					report(pkg, d.pos, "malformed directive: //detlint:streamdomain needs exactly one domain name")
+				}
+			default:
+				report(pkg, d.pos, "unknown directive //detlint:%s (have: ignore, hotpath, streamdomain)", d.verb)
+			}
+		}
+	}
+}
+
+func analyzerNames(analyzers []*Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ignoreIndex builds the package's suppression map:
+// filename -> line -> analyzer -> suppressed. A well-formed ignore
+// covers its own line and the following line.
+func ignoreIndex(pkg *Package) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range directives(f) {
+			if d.verb != dirIgnore || len(d.args) < 2 {
+				continue
+			}
+			pos := pkg.Fset.Position(d.pos)
+			byLine, ok := out[pos.Filename]
+			if !ok {
+				byLine = map[int]map[string]bool{}
+				out[pos.Filename] = byLine
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				if byLine[line] == nil {
+					byLine[line] = map[string]bool{}
+				}
+				byLine[line][d.args[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// funcDoc returns the directive lines attached to a function
+// declaration's doc comment.
+func funcDirectives(fd *ast.FuncDecl) []directive {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range fd.Doc.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether the function carries //detlint:hotpath.
+func isHotpath(fd *ast.FuncDecl) bool {
+	for _, d := range funcDirectives(fd) {
+		if d.verb == dirHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+// genDeclStreamDomain returns the //detlint:streamdomain name attached
+// to a declaration's doc comment, if any.
+func genDeclStreamDomain(gd *ast.GenDecl) (string, bool) {
+	if gd.Doc == nil {
+		return "", false
+	}
+	for _, c := range gd.Doc.List {
+		if d, ok := parseDirective(c); ok && d.verb == dirStreamDomain && len(d.args) == 1 {
+			return d.args[0], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loader is shared by every fixture case: the stdlib source importer
+// re-type-checks GOROOT packages per Loader, so sharing one amortizes
+// that cost across the table. Analyzer state is per-Analyzers() call,
+// so cases stay independent.
+var loader *Loader
+
+func getLoader(t *testing.T) *Loader {
+	t.Helper()
+	if loader == nil {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		loader = l
+	}
+	return loader
+}
+
+// runFixture loads the named testdata packages and runs the full suite
+// over them, exactly as cmd/detlint would if pointed at them.
+func runFixture(t *testing.T, dirs ...string) []Diagnostic {
+	t.Helper()
+	l := getLoader(t)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		pkg, err := l.LoadDir("internal/lint/testdata/" + d)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", d, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return Run(Analyzers(), pkgs)
+}
+
+// TestFixtures drives every analyzer through its golden fixtures: a
+// seeded violation, the same violation suppressed by a
+// //detlint:ignore annotation, and a clean case exercising the
+// whitelisted idioms.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		dirs []string
+		want map[string]int // analyzer -> diagnostic count; nil = clean
+		grep string         // substring expected in some message
+	}{
+		{"detmap/seeded", []string{"detmap/bad"}, map[string]int{"detmap": 1}, "order-sensitive"},
+		{"detmap/suppressed", []string{"detmap/suppressed"}, nil, ""},
+		{"detmap/clean", []string{"detmap/clean"}, nil, ""},
+
+		{"strayrand/seeded", []string{"strayrand/bad"}, map[string]int{"strayrand": 2}, "wall clock"},
+		{"strayrand/suppressed", []string{"strayrand/suppressed"}, nil, ""},
+		{"strayrand/clean", []string{"strayrand/clean"}, nil, ""},
+
+		{"streamid/seeded", []string{"streamid/bad"}, map[string]int{"streamid": 2}, "streamdomain"},
+		{"streamid/suppressed", []string{"streamid/suppressed"}, nil, ""},
+		{"streamid/clean", []string{"streamid/clean"}, nil, ""},
+		// The acceptance case: two packages sharing a split domain with
+		// equal identities must fail, with each side naming the other.
+		{"streamid/cross-package-collision",
+			[]string{"streamid/collide/alpha", "streamid/collide/beta"},
+			map[string]int{"streamid": 2}, "collision"},
+
+		{"hotalloc/seeded", []string{"hotalloc/bad"}, map[string]int{"hotalloc": 5}, "fmt.Sprintf"},
+		{"hotalloc/suppressed", []string{"hotalloc/suppressed"}, nil, ""},
+		{"hotalloc/clean", []string{"hotalloc/clean"}, nil, ""},
+
+		{"directives/malformed", []string{"directives"}, map[string]int{"detlint": 3}, "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, tc.dirs...)
+			got := map[string]int{}
+			var msgs []string
+			for _, d := range diags {
+				got[d.Analyzer]++
+				msgs = append(msgs, d.String())
+			}
+			all := strings.Join(msgs, "\n")
+			for a, n := range tc.want {
+				if got[a] != n {
+					t.Errorf("analyzer %s: got %d diagnostics, want %d\n%s", a, got[a], n, all)
+				}
+			}
+			for a, n := range got {
+				if tc.want[a] != n {
+					t.Errorf("unexpected %s diagnostics (%d)\n%s", a, n, all)
+				}
+			}
+			if tc.grep != "" && !strings.Contains(all, tc.grep) {
+				t.Errorf("no diagnostic mentions %q\n%s", tc.grep, all)
+			}
+		})
+	}
+}
+
+// TestCollisionNamesBothPackages pins the cross-package collision
+// report shape: each colliding constant's diagnostic names the other
+// declaration and its package, so the fix is obvious from either side.
+func TestCollisionNamesBothPackages(t *testing.T) {
+	diags := runFixture(t, "streamid/collide/alpha", "streamid/collide/beta")
+	var alphaMsg, betaMsg string
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "alpha") {
+			alphaMsg = d.Message
+		}
+		if strings.Contains(d.Pos.Filename, "beta") {
+			betaMsg = d.Message
+		}
+	}
+	if !strings.Contains(alphaMsg, "streamBetaChurn") || !strings.Contains(alphaMsg, "collide/beta") {
+		t.Errorf("alpha-side report does not name beta's constant and package: %q", alphaMsg)
+	}
+	if !strings.Contains(betaMsg, "streamAlphaRepair") || !strings.Contains(betaMsg, "collide/alpha") {
+		t.Errorf("beta-side report does not name alpha's constant and package: %q", betaMsg)
+	}
+}
+
+// TestRepoSelfCheck runs the full suite over the repository exactly as
+// the CI gate does (`go run ./cmd/detlint ./...`): the tree must be
+// clean. A failure here means a contract regression or a new site that
+// needs a (documented) suppression.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repository type-check in -short mode")
+	}
+	l := getLoader(t)
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, d := range Run(Analyzers(), pkgs) {
+		t.Errorf("repository is not detlint-clean: %s", d)
+	}
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages with nothing but
+// the standard library: module-internal imports are resolved by
+// recursive loading, standard-library imports through the stdlib
+// source importer (which compiles GOROOT sources, so the loader works
+// offline and keeps the module's zero-external-dependency property —
+// no golang.org/x/tools).
+//
+// All packages loaded through one Loader share a single token.FileSet,
+// so diagnostics from cross-package analyzers resolve to consistent
+// positions.
+type Loader struct {
+	fset   *token.FileSet
+	root   string // module root directory (holds go.mod)
+	module string // module path from go.mod
+	std    types.Importer
+	pkgs   map[string]*Package // by import path
+}
+
+// Package is one type-checked package as the analyzers see it.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewLoader returns a loader rooted at the module containing dir:
+// the go.mod is found by walking up from dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*Package{},
+	}, nil
+}
+
+// Module returns the module path from go.mod.
+func (l *Loader) Module() string { return l.module }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadPatterns expands the go-style package patterns (a literal
+// directory like ./cmd/detlint, or a recursive ./... suffix) relative
+// to the module root and loads every matching package. Pattern
+// expansion skips testdata, vendor, hidden and underscore directories,
+// matching the go tool; testdata fixtures are loaded only when named
+// explicitly (see LoadDir).
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.root, base)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go source file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile reports whether name is a Go source file the loader
+// should parse (non-test, not hidden, not underscore-prefixed).
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadDir loads the package in dir (absolute, or relative to the
+// module root). The import path is derived from the directory's
+// position in the module, so testdata fixture packages load under
+// their natural <module>/internal/lint/testdata/... paths.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.root, dir)
+	}
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.module
+	if rel != "." {
+		path = l.module + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, dir)
+}
+
+// load parses and type-checks one package, memoized by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-internal
+// import paths load recursively, everything else is delegated to the
+// stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		dir := l.root
+		if path != l.module {
+			dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// strayrandAnalyzer forbids ad-hoc randomness and wall-clock reads in
+// the simulation/analysis packages (everything under internal/). All
+// randomness must flow through internal/stats stream splits: a
+// math/rand generator is seeded global state whose draw positions
+// couple unrelated components, and a time.Now read makes output depend
+// on the wall clock — both break the "fully determined by (config,
+// seed)" contract. The commands under cmd/ may read the clock for
+// progress reporting; the model and analysis layers may not.
+func strayrandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "strayrand",
+		Doc:  "forbid math/rand, crypto/rand and wall-clock reads outside the stats.RNG substrate",
+		Match: func(path string) bool {
+			return strings.HasPrefix(path, Module+"/internal/")
+		},
+		Run: runStrayrand,
+	}
+}
+
+// bannedImports are rejected outright in internal packages.
+var bannedImports = map[string]string{
+	"math/rand":    "randomness must flow through internal/stats stream splits (stats.RNG)",
+	"math/rand/v2": "randomness must flow through internal/stats stream splits (stats.RNG)",
+	"crypto/rand":  "nondeterministic entropy; randomness must flow through internal/stats stream splits",
+}
+
+// bannedTimeFuncs are the wall-clock reads of package time.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runStrayrand(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), "import of %s: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation/analysis output must be a pure function of (config, seed)", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// streamidAnalyzer guards the RNG stream-identity space. The engines
+// decouple their random processes by splitting child streams off a
+// parent with typed integer constants (`streamSim`, `streamClass`,
+// ...); two constants with the same identity split the *same* child,
+// silently correlating two processes that the model treats as
+// independent — a bug no runtime test can see, because every run is
+// still deterministic and self-consistent.
+//
+// The analyzer collects every `stream*` integer constant in the
+// randomness-consuming packages and enforces:
+//
+//   - every stream-constant block declares its split domain with
+//     `//detlint:streamdomain <name>` (a domain is one parent-stream
+//     namespace: constants in the same domain may be split off a
+//     common parent, possibly from different packages);
+//   - identities within a domain are globally distinct, across
+//     packages (the cross-package collision is the dangerous one: two
+//     packages splitting the same parent with the same key);
+//   - identities fit the low-byte packing convention, 1..255:
+//     component indices are packed into bits 8+ (`streamKey`,
+//     `stream | id<<8`), so a constant outside the low byte can
+//     collide with a packed (stream, index) pair.
+func streamidAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "streamid",
+		Doc:  "detect duplicate or colliding RNG stream identities across packages",
+		Match: scoped("streamid",
+			Module+"/internal/sim",
+			Module+"/internal/fleet",
+			Module+"/internal/failmodel",
+			Module+"/internal/sweep",
+		),
+	}
+	var consts []streamConst
+	a.Run = func(pass *Pass) {
+		consts = append(consts, collectStreamConsts(pass)...)
+	}
+	a.Finish = func(report ReportFunc) {
+		reportStreamCollisions(consts, report)
+	}
+	return a
+}
+
+// streamConst is one collected RNG stream identity.
+type streamConst struct {
+	pkg    *Package
+	pos    token.Pos
+	name   string
+	domain string
+	value  uint64
+}
+
+// streamConstName matches the repository's stream-constant naming
+// convention.
+var streamConstName = regexp.MustCompile(`^stream[A-Z0-9_]`)
+
+// collectStreamConsts gathers the package's stream constants, emitting
+// immediate diagnostics for missing domains and out-of-range values.
+func collectStreamConsts(pass *Pass) []streamConst {
+	var out []streamConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			domain, hasDomain := genDeclStreamDomain(gd)
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !streamConstName.MatchString(name.Name) {
+						continue
+					}
+					obj, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					val, exact := constant.Uint64Val(constant.ToInt(obj.Val()))
+					if !exact {
+						pass.Reportf(name.Pos(), "stream constant %s is not an unsigned integer identity", name.Name)
+						continue
+					}
+					if !hasDomain {
+						pass.Reportf(gd.Pos(), "const block declaring stream constant %s must carry //detlint:streamdomain <name> (the parent-stream namespace collisions are checked within)", name.Name)
+						hasDomain = true // one report per block
+						domain = "(undeclared)"
+					}
+					if val < 1 || val > 255 {
+						pass.Reportf(name.Pos(), "stream constant %s = %d is outside the low-byte identity range 1..255; component indices pack into bits 8+ and would collide", name.Name, val)
+					}
+					out = append(out, streamConst{
+						pkg: pass.Package, pos: name.Pos(),
+						name: name.Name, domain: domain, value: val,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// reportStreamCollisions flags every pair of stream constants sharing
+// a (domain, identity), including across packages.
+func reportStreamCollisions(consts []streamConst, report ReportFunc) {
+	type key struct {
+		domain string
+		value  uint64
+	}
+	groups := map[key][]streamConst{}
+	var order []key
+	for _, c := range consts {
+		k := key{c.domain, c.value}
+		if len(groups[k]) == 0 {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].domain != order[j].domain {
+			return order[i].domain < order[j].domain
+		}
+		return order[i].value < order[j].value
+	})
+	for _, k := range order {
+		g := groups[k]
+		if len(g) < 2 {
+			continue
+		}
+		for i, c := range g {
+			other := g[(i+1)%len(g)]
+			report(c.pkg, c.pos,
+				"stream identity collision in domain %q: %s = %d also declared as %s (%s) — colliding splits silently correlate independent processes",
+				k.domain, c.name, c.value, other.name, other.pkg.Path)
+		}
+	}
+}

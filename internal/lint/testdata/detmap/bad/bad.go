@@ -1,0 +1,13 @@
+// Package bad seeds a detmap violation: a float accumulation folded in
+// map iteration order. Float addition is not associative, so the low
+// bits of the result vary run to run — the exact bug class detmap
+// exists to catch.
+package bad
+
+func sumRates(byLabel map[string]float64) float64 {
+	total := 0.0
+	for _, v := range byLabel {
+		total += v
+	}
+	return total
+}

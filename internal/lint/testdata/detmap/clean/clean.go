@@ -1,0 +1,37 @@
+// Package clean exercises the whitelisted order-insensitive map
+// iteration forms: collect-then-sort key harvesting, integer tallies,
+// and keyed writes into another map.
+package clean
+
+import "sort"
+
+func sortedKeys(byLabel map[string]float64) []string {
+	keys := make([]string, 0, len(byLabel))
+	for k := range byLabel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func tally(events map[string]int) int {
+	n := 0
+	for _, c := range events {
+		n += c
+		if c > 100 {
+			n++
+		}
+	}
+	return n
+}
+
+func invert(src map[string]int) map[string]bool {
+	dst := make(map[string]bool, len(src))
+	for k, v := range src {
+		if v == 0 {
+			continue
+		}
+		dst[k] = true
+	}
+	return dst
+}

@@ -1,0 +1,12 @@
+// Package suppressed carries the same order-sensitive map fold as the
+// bad fixture, annotated away — detlint must honor the suppression.
+package suppressed
+
+func sumRates(byLabel map[string]float64) float64 {
+	total := 0.0
+	//detlint:ignore detmap fixture: order-insensitivity asserted out of band
+	for _, v := range byLabel {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,14 @@
+// Package directives seeds malformed //detlint: comments: a reasonless
+// ignore, an unknown verb, and an ignore naming no known analyzer.
+// Each must surface as a diagnostic so suppressions cannot silently
+// decay into no-ops.
+package directives
+
+//detlint:ignore detmap
+func a() {}
+
+//detlint:frobnicate
+func b() {}
+
+//detlint:ignore nosuchanalyzer because reasons
+func c() {}

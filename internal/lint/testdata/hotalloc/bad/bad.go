@@ -1,0 +1,30 @@
+// Package bad seeds hotalloc violations inside //detlint:hotpath
+// functions: fmt formatting, map literals, appends into locally
+// declared empty slices, new(T), and a capturing closure.
+package bad
+
+import "fmt"
+
+//detlint:hotpath
+func describe(ids []int) []string {
+	var out []string
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, fmt.Sprintf("disk-%d", id))
+	}
+	return out
+}
+
+type thing struct{ id int }
+
+//detlint:hotpath
+func build(n int) *thing {
+	t := new(thing)
+	f := func() int { return n }
+	t.id = f()
+	return t
+}

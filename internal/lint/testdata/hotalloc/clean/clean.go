@@ -1,0 +1,23 @@
+// Package clean holds a hot-path function in the repository's idiom:
+// recycled caller-owned scratch, presized makes, capture-free loops.
+package clean
+
+//detlint:hotpath
+func fill(scratch []int, n int) []int {
+	scratch = scratch[:0]
+	for i := 0; i < n; i++ {
+		scratch = append(scratch, i)
+	}
+	return scratch
+}
+
+//detlint:hotpath
+func histogram(values []int, bins int) []int {
+	counts := make([]int, bins)
+	for _, v := range values {
+		if v >= 0 && v < bins {
+			counts[v]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,13 @@
+// Package suppressed carries a hot-path allocation annotated away with
+// a documented reason.
+package suppressed
+
+//detlint:hotpath
+func grow(n int) []int {
+	//detlint:ignore hotalloc fixture: one-time growth at trial setup, not steady state
+	s := make([]int, 0)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}

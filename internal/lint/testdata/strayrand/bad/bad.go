@@ -1,0 +1,13 @@
+// Package bad seeds strayrand violations: a math/rand import and a
+// wall-clock read, both of which break the pure-function-of-(config,
+// seed) contract in simulation/analysis packages.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() * float64(time.Now().UnixNano())
+}

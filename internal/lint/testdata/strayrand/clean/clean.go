@@ -1,0 +1,8 @@
+// Package clean holds deterministic arithmetic only; time may be
+// imported for its types and durations, just not read from the wall
+// clock.
+package clean
+
+import "time"
+
+func halfLife(d time.Duration) time.Duration { return d / 2 }

@@ -1,0 +1,14 @@
+// Package suppressed carries the same stray randomness and clock read
+// as the bad fixture, annotated away.
+package suppressed
+
+import (
+	//detlint:ignore strayrand fixture: legacy shim, draws never reach simulation output
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	//detlint:ignore strayrand fixture: wall-clock read feeds progress logging only
+	return rand.Float64() * float64(time.Now().UnixNano())
+}

@@ -1,0 +1,16 @@
+// Package bad seeds streamid violations: a stream-constant block with
+// no declared split domain, and an identity outside the low-byte
+// packing range.
+package bad
+
+const (
+	streamNoDomain uint64 = 3
+)
+
+// streamTooWide overflows the low byte: component indices pack into
+// bits 8+, so this identity can collide with a packed (stream, index).
+//
+//detlint:streamdomain wide
+const (
+	streamTooWide uint64 = 300
+)

@@ -1,0 +1,9 @@
+// Package clean declares a well-formed stream-constant block: a named
+// split domain and distinct in-range identities.
+package clean
+
+//detlint:streamdomain solo
+const (
+	streamOne uint64 = 1
+	streamTwo uint64 = 2
+)

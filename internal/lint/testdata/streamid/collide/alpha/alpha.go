@@ -1,0 +1,10 @@
+// Package alpha declares stream identities in the shared "mix" split
+// domain; package beta declares a colliding identity in the same
+// domain, so loading both must fail the streamid cross-package check.
+package alpha
+
+//detlint:streamdomain mix
+const (
+	streamAlphaFail   uint64 = 1
+	streamAlphaRepair uint64 = 2
+)

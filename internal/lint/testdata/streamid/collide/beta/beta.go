@@ -1,0 +1,9 @@
+// Package beta collides with package alpha: same "mix" domain, same
+// identity 2 — two processes the model treats as independent would
+// split the same child stream.
+package beta
+
+//detlint:streamdomain mix
+const (
+	streamBetaChurn uint64 = 2
+)

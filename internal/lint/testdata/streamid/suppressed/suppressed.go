@@ -1,0 +1,8 @@
+// Package suppressed declares a stream constant without a domain, with
+// the missing-domain diagnostic annotated away.
+package suppressed
+
+//detlint:ignore streamid fixture: block predates the domain convention; identities audited by hand
+const (
+	streamLegacy uint64 = 4
+)

@@ -43,6 +43,12 @@ import (
 // are decoupled: inserting a component (a new stream key) never
 // perturbs the randomness of existing sibling streams. Keys carrying a
 // component index are built with streamKey.
+//
+// The "sim" domain covers every split under the simulation root
+// (NewRNG(simSeed) and its descendants); identities must be unique
+// across the whole domain — detlint's streamid analyzer enforces it.
+//
+//detlint:streamdomain sim
 const (
 	streamSim    uint64 = iota + 1 // root of the whole simulation
 	streamSys                      // + system ID: one stream per system
@@ -131,6 +137,8 @@ type worker struct {
 
 // disk resolves a disk ID: non-negative IDs index the shared fleet,
 // provisional negative IDs index this worker's arena.
+//
+//detlint:hotpath
 func (w *worker) disk(id int) *fleet.Disk {
 	if id >= 0 {
 		return w.f.Disks[id]
@@ -143,6 +151,8 @@ func (w *worker) disk(id int) *fleet.Disk {
 // sort by ID, and every replacement sorts after all originals in arena
 // creation order. Sorting a shard's events by (time, diskKey) before
 // IDs are finalized therefore equals sorting by (time, final ID).
+//
+//detlint:hotpath
 func (w *worker) diskKey(id int) int {
 	if id >= 0 {
 		return id
@@ -185,6 +195,8 @@ const (
 
 // chainBuf returns slot i's chain buffer with length zero and retained
 // capacity, growing the flat chain arena on first use.
+//
+//detlint:hotpath
 func (w *worker) chainBuf(i int) slotChain {
 	for len(w.chains) <= i {
 		w.chains = append(w.chains, nil)
@@ -192,6 +204,10 @@ func (w *worker) chainBuf(i int) slotChain {
 	return w.chains[i][:0]
 }
 
+// simulateSystem realizes every failure process of one system; with
+// the scratch buffers warm it allocates only output events.
+//
+//detlint:hotpath
 func (w *worker) simulateSystem(sys *fleet.System, r *stats.RNG) {
 	end := simtime.StudyDuration
 	if sys.Install >= end {
@@ -237,6 +253,8 @@ func (w *worker) simulateSystem(sys *fleet.System, r *stats.RNG) {
 // the failed disk's model); environment hits are per-episode Bernoulli
 // marks spread over the episode window. The returned chain reuses the
 // caller-provided buffer's storage where capacity allows.
+//
+//detlint:hotpath
 func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.Seconds, r *stats.RNG, chain slotChain) slotChain {
 	end := simtime.StudyDuration
 	p := w.params
@@ -337,6 +355,8 @@ func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.
 
 // simulateShelfEpisodes draws the interconnect and performance episode
 // processes for one shelf and emits their event bursts.
+//
+//detlint:hotpath
 func (w *worker) simulateShelfEpisodes(sys *fleet.System, shelf *fleet.Shelf, chains []slotChain, r *stats.RNG) {
 	nSlots := len(chains)
 	if nSlots == 0 {
@@ -376,6 +396,8 @@ func (w *worker) simulateShelfEpisodes(sys *fleet.System, shelf *fleet.Shelf, ch
 // the FC network shared by all the system's shelves, whose victim disks
 // span shelves. They carry the PILoopFraction share of the class's PI
 // event rate.
+//
+//detlint:hotpath
 func (w *worker) simulateLoopEpisodes(sys *fleet.System, totalSlots int, r *stats.RNG) {
 	p := w.params
 	if totalSlots == 0 || p.PILoopFraction <= 0 {
@@ -396,6 +418,8 @@ func (w *worker) simulateLoopEpisodes(sys *fleet.System, totalSlots int, r *stat
 
 // simulateProtocolEpisodes draws system-level protocol episodes (driver
 // rollouts) whose victims span all the system's shelves.
+//
+//detlint:hotpath
 func (w *worker) simulateProtocolEpisodes(sys *fleet.System, totalSlots int, r *stats.RNG) {
 	p := w.params
 	if totalSlots == 0 {
@@ -417,6 +441,8 @@ func (w *worker) simulateProtocolEpisodes(sys *fleet.System, totalSlots int, r *
 // emitSystemBurst emits a burst of k events whose victims are drawn
 // uniformly over all the system's slots (possibly repeating shelves),
 // using the current system's chain arena (w.chains / w.shelfOff).
+//
+//detlint:hotpath
 func (w *worker) emitSystemBurst(sys *fleet.System,
 	t0 simtime.Seconds, k int, gapMedian simtime.Seconds, gapSigma float64,
 	cause failmodel.Cause, recovered bool, r *stats.RNG) {
@@ -458,6 +484,8 @@ func (w *worker) emitSystemBurst(sys *fleet.System,
 // lognormal inter-event gaps, choosing distinct victim slots via a
 // partial Fisher–Yates draw over a reused index buffer — only the k
 // victims are determined, never a full permutation.
+//
+//detlint:hotpath
 func (w *worker) emitBurst(chains []slotChain, t0 simtime.Seconds, k int,
 	gapMedian simtime.Seconds, gapSigma float64, cause failmodel.Cause,
 	recovered bool, r *stats.RNG) {
@@ -505,6 +533,8 @@ func (w *worker) emitBurst(chains []slotChain, t0 simtime.Seconds, k int,
 // the given annualized rate on [from, to) to buf and returns it. Callers
 // pass a recycled worker buffer truncated to length zero, so the draw
 // allocates only when a process outgrows every earlier one.
+//
+//detlint:hotpath
 func poissonTimes(buf []simtime.Seconds, ratePerYear float64, from, to simtime.Seconds, r *stats.RNG) []simtime.Seconds {
 	if ratePerYear <= 0 || to <= from {
 		return buf
@@ -522,6 +552,8 @@ func poissonTimes(buf []simtime.Seconds, ratePerYear float64, from, to simtime.S
 
 // lognormalGap draws a lognormal inter-event gap with the given median
 // and log-space sigma, floored at one second.
+//
+//detlint:hotpath
 func lognormalGap(median simtime.Seconds, sigma float64, r *stats.RNG) simtime.Seconds {
 	g := simtime.Seconds(r.LogNormal(math.Log(float64(median)), sigma))
 	if g < 1 {

@@ -84,6 +84,8 @@ func NewRNG(seed int64) *RNG {
 // consulted — so the same (parent, stream) pair always yields the same
 // child, and distinct indices yield decoupled streams. Split performs
 // no allocation; the returned value is self-contained.
+//
+//detlint:hotpath
 func (r *RNG) Split(stream uint64) RNG {
 	return fromKey(mix64(r.key + golden64*(stream+1)))
 }
