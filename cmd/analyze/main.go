@@ -36,8 +36,16 @@ func main() {
 	workers := flag.Int("workers", 0, "fleet rebuild + replay worker goroutines (0 = all CPUs; any value yields identical output)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "analyze: unexpected argument %q (analyze takes flags only; see -h)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	if *logs == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -logs is required")
+		os.Exit(2)
+	}
+	if *scale <= 0 || *scale > 1.5 {
+		fmt.Fprintln(os.Stderr, "analyze: -scale must be in (0, 1.5]")
 		os.Exit(2)
 	}
 	if err := run(*logs, *scale, *seed, *exp, *workers); err != nil {

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +46,16 @@ func main() {
 	workers := flag.Int("workers", 0, "trial worker goroutines (0 = one per CPU; output is identical for every count)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (expreport takes flags only; see -h)", flag.Arg(0)))
+	}
+	if *trials < 1 {
+		fatal(fmt.Errorf("-trials must be at least 1"))
+	}
+	if *scale <= 0 || *scale > 1.5 {
+		fatal(fmt.Errorf("-scale must be in (0, 1.5]"))
+	}
+
 	var res *sweep.Result
 	if *in != "" {
 		// -in renders an already-computed sweep: its configuration is
@@ -56,14 +67,7 @@ func main() {
 				fatal(fmt.Errorf("-%s conflicts with -in: the report renders the configuration recorded in %s", f.Name, *in))
 			}
 		})
-		data, err := os.ReadFile(*in)
-		if err != nil {
-			fatal(err)
-		}
-		res = &sweep.Result{}
-		if err := json.Unmarshal(data, res); err != nil {
-			fatal(fmt.Errorf("parsing %s: %w", *in, err))
-		}
+		res = loadResult(*in)
 	} else {
 		scens, err := sweep.LoadGrid(*grid)
 		if err != nil {
@@ -99,6 +103,36 @@ func main() {
 	if err := expreport.Render(w, res); err != nil {
 		fatal(err)
 	}
+}
+
+// loadResult parses a cmd/sweep -json file strictly: unknown fields,
+// truncation, and structurally empty results all produce a one-line
+// actionable error instead of a silent zero-value report.
+func loadResult(path string) *sweep.Result {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	res := &sweep.Result{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(res); err != nil {
+		fatal(fmt.Errorf("parsing %s: %v (is it a cmd/sweep -json result? it may be truncated or a different file)", path, err))
+	}
+	// A second document after the result means the file is not a single
+	// sweep JSON object (e.g. concatenated logs).
+	if dec.More() {
+		fatal(fmt.Errorf("parsing %s: trailing data after the result object", path))
+	}
+	if res.Trials < 1 || len(res.Scenarios) == 0 {
+		fatal(fmt.Errorf("%s holds no sweep data (%d trials, %d scenarios); was the sweep run with -json?", path, res.Trials, len(res.Scenarios)))
+	}
+	for _, ss := range res.Scenarios {
+		if ss.Scenario.Name == "" {
+			fatal(fmt.Errorf("%s has a scenario without a name; the file is damaged or not a sweep result", path))
+		}
+	}
+	return res
 }
 
 func fatal(err error) {

@@ -39,6 +39,18 @@ func main() {
 	buildOnly := flag.Bool("build-only", false, "build the fleet, print population counts, and exit")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fleetgen: unexpected argument %q (fleetgen takes flags only; see -h)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *scale <= 0 || *scale > 1.5 {
+		fmt.Fprintln(os.Stderr, "fleetgen: -scale must be in (0, 1.5]")
+		os.Exit(2)
+	}
+	if *maxSystems < 0 {
+		fmt.Fprintln(os.Stderr, "fleetgen: -max-systems must be >= 0")
+		os.Exit(2)
+	}
 	if *buildOnly {
 		f := fleet.BuildDefaultWorkers(*scale, *seed, *workers)
 		fmt.Printf("fleet: %d systems, %d shelves, %d disks, %d RAID groups (scale %g, seed %d)\n",

@@ -41,6 +41,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable figure CSVs to this directory")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: unexpected argument %q (reproduce takes flags only; see -h)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	if cfg.Scale <= 0 || cfg.Scale > 1.5 {
 		fmt.Fprintln(os.Stderr, "reproduce: -scale must be in (0, 1.5]")
 		os.Exit(2)

@@ -8,6 +8,8 @@
 //
 //	sweep [-trials 20] [-grid default|burst|mine|scale|smoke|ops|file.json]
 //	      [-scale 0.25] [-seed 42] [-workers N] [-findings] [-json] [-check]
+//	      [-checkpoint sweep.ckpt] [-checkpoint-every 64] [-resume]
+//	      [-budget N] [-max-wall 30m] [-retries N]
 //
 // Each scenario's fleet is built once and rolled back between trials,
 // and trials are sharded across a worker pool with recycled simulation
@@ -22,11 +24,26 @@
 // demanding bit-identical metrics. -findings adds the Findings 1-11
 // pass count per trial at roughly double the analysis cost. Progress
 // goes to stderr; results to stdout.
+//
+// Fault tolerance: -checkpoint periodically persists the aggregation
+// state (digest-protected; the previous checkpoint is kept as
+// <path>.prev) and -resume restores it after a crash or a
+// budget-stopped run — the completed JSON is byte-identical to an
+// uninterrupted run's, for any worker count on either side of the
+// interruption. -budget stops gracefully after that many trials in
+// global order (a deterministic prefix); -max-wall stops when the
+// wall-clock budget elapses. Both mark the result PARTIAL with
+// per-scenario completed-trial counts and leave a resumable
+// checkpoint. Trials that panic are quarantined and deterministically
+// retried (-retries bounds re-executions; failures are recorded in the
+// result, never fatal to the sweep).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strings"
 
@@ -42,40 +59,99 @@ func main() {
 	findings := flag.Bool("findings", false, "also evaluate the paper's Findings 1-11 per trial (roughly doubles analysis cost)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	check := flag.Bool("check", false, "self-check: rerun each scenario's trial 0 from scratch and require bit-identical metrics inside the sweep spread")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: periodically persist aggregation state for -resume")
+	every := flag.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = 64; requires -checkpoint)")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file (falls back to <path>.prev if the primary is corrupt)")
+	budget := flag.Int("budget", 0, "stop gracefully after this many trials in global order (0 = no budget; result marked partial, resumable)")
+	maxWall := flag.Duration("max-wall", 0, "wall-clock budget, e.g. 30m (0 = none; result marked partial, resumable)")
+	retries := flag.Int("retries", 0, "per-trial retries after a panic (0 = default 2; negative disables)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fatalf(2, "unexpected argument %q (sweep takes flags only; see -h)", flag.Arg(0))
+	}
 	if *trials < 1 {
-		fmt.Fprintln(os.Stderr, "sweep: -trials must be at least 1")
-		os.Exit(2)
+		fatalf(2, "-trials must be at least 1")
 	}
 	if *scale <= 0 || *scale > 1.5 {
-		fmt.Fprintln(os.Stderr, "sweep: -scale must be in (0, 1.5]")
-		os.Exit(2)
+		fatalf(2, "-scale must be in (0, 1.5]")
+	}
+	if *budget < 0 {
+		fatalf(2, "-budget must be >= 0")
+	}
+	if *maxWall < 0 {
+		fatalf(2, "-max-wall must be >= 0")
+	}
+	if *every < 0 {
+		fatalf(2, "-checkpoint-every must be >= 0")
+	}
+	if *checkpoint == "" {
+		if *resume {
+			fatalf(2, "-resume requires -checkpoint to name the file to resume from")
+		}
+		if *every > 0 {
+			fatalf(2, "-checkpoint-every requires -checkpoint")
+		}
 	}
 	scens, err := sweep.LoadGrid(*grid)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		// LoadGrid errors already carry the "sweep:" prefix.
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := sweep.Config{
-		Trials:    *trials,
-		Seed:      *seed,
-		Scale:     *scale,
-		Workers:   *workers,
-		Scenarios: scens,
-		Findings:  *findings,
+		Trials:          *trials,
+		Seed:            *seed,
+		Scale:           *scale,
+		Workers:         *workers,
+		Scenarios:       scens,
+		Findings:        *findings,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *every,
+		MaxRetries:      *retries,
+		BudgetTrials:    *budget,
+		MaxWall:         *maxWall,
 	}
+
+	var st *sweep.CheckpointState
+	if *resume {
+		var src string
+		st, src, err = sweep.RecoverCheckpoint(*checkpoint)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				fatalf(2, "-resume: no checkpoint at %s (run with -checkpoint first, or drop -resume to start fresh)", *checkpoint)
+			}
+			fatalf(2, "-resume: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: resuming from %s at trial %d of %d\n",
+			src, st.NextJob, len(scens)**trials)
+	}
+
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios x %d trials at base scale %.2f (seed %d)\n",
 		len(scens), *trials, *scale, *seed)
-	res := sweep.RunProgress(cfg, func(s sweep.Scenario, done int) {
+	res, err := sweep.Execute(cfg, st, func(s sweep.Scenario, done int) {
 		fmt.Fprintf(os.Stderr, "sweep: scenario %q complete (%d trials)\n", s.Name, done)
 	})
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	if res.Partial {
+		fmt.Fprintln(os.Stderr, "sweep: PARTIAL result (budget or deadline); resume with -resume to complete")
+	}
+	for _, f := range res.Failures {
+		if f.Recovered {
+			fmt.Fprintf(os.Stderr, "sweep: WARNING: scenario %q trial %d panicked and was retried successfully (%d attempts): %s\n",
+				f.Scenario, f.Trial, f.Attempts, f.Panic)
+		} else {
+			fmt.Fprintf(os.Stderr, "sweep: WARNING: scenario %q trial %d failed permanently after %d attempts: %s\n",
+				f.Scenario, f.Trial, f.Attempts, f.Panic)
+		}
+	}
 
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep: writing JSON:", err)
-			os.Exit(1)
+			fatalf(1, "writing JSON: %v", err)
 		}
 	} else {
 		res.Render(os.Stdout)
@@ -83,9 +159,13 @@ func main() {
 
 	if *check {
 		if err := res.Check(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep: self-check FAILED:", err)
-			os.Exit(1)
+			fatalf(1, "self-check FAILED: %v", err)
 		}
 		fmt.Fprintln(os.Stderr, "sweep: self-check passed: single-seed reruns match trial 0 bit-for-bit and fall inside the sweep spread")
 	}
+}
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(code)
 }

@@ -168,6 +168,18 @@ func Render(w io.Writer, res *sweep.Result) error {
 
 	var b strings.Builder
 	b.WriteString("# EXPERIMENTS — paper values vs reproduction spread\n\n")
+	if res.Partial {
+		// Budget- or deadline-stopped sweeps carry truncated CIs; say so
+		// before any number is read. Complete results render byte-
+		// identically to before this block existed.
+		b.WriteString("> **PARTIAL SWEEP** — the underlying sweep stopped before completing every\n")
+		b.WriteString("> trial; confidence intervals below cover only the completed trials per\n")
+		b.WriteString("> scenario:\n>\n")
+		for _, ss := range res.Scenarios {
+			fmt.Fprintf(&b, "> - %s: %d/%d trials\n", ss.Scenario.Name, ss.TrialsDone, res.Trials)
+		}
+		b.WriteString(">\n> Resume the sweep (`cmd/sweep -resume`) and regenerate for final numbers.\n\n")
+	}
 	fmt.Fprintf(&b, "Generated by `cmd/expreport` (regenerate with `go run ./cmd/expreport -o EXPERIMENTS.md`;\nCI's expreport-smoke job fails when this file is out of date). Do not edit by hand.\n\n")
 	fmt.Fprintf(&b, "Each section below confronts one finding of the FAST '08 paper with the\nMonte-Carlo reproduction: the paper's published value ([internal/paperref](internal/paperref)),\nthe single-seed point estimate (trial 0 — exactly what `cmd/reproduce` computes),\nthe trial mean with its 95%% Student-t confidence interval, the spread quantiles,\nand a verdict: **within CI** when the paper band overlaps the mean's 95%% CI,\n*in spread* when it only overlaps the observed min–max trial range, **OUTSIDE**\nwhen no trial reached it, and *no data* when the metric was undefined at this\nscale. Rates are per disk-year; at %g%% population scale the per-rate statistics\nare scale-invariant up to sampling noise, and absolute tallies are compared\nafter scaling the paper's full-population numbers.\n\n", res.Scale*100)
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"storagesubsys/internal/paperref"
@@ -169,5 +170,36 @@ func TestConfrontCoversEveryFinding(t *testing.T) {
 		if len(fr.Targets) != len(paperref.Findings[i].Targets) {
 			t.Errorf("finding %d: %d targets, want %d", fr.Finding.ID, len(fr.Targets), len(paperref.Findings[i].Targets))
 		}
+	}
+}
+
+// TestRenderPartialBanner: a budget-truncated sweep result renders
+// with an explicit PARTIAL banner listing per-scenario completed
+// trials, while complete results stay byte-identical to the golden
+// (TestRenderGolden covers the latter; this test covers the former).
+func TestRenderPartialBanner(t *testing.T) {
+	cfg := goldenConfig(2)
+	cfg.BudgetTrials = 3 // 5 scenarios x 2 trials: stops inside scenario 1
+	res, err := sweep.Execute(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("budgeted sweep not marked Partial")
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PARTIAL SWEEP") {
+		t.Fatal("partial report carries no PARTIAL banner")
+	}
+	if !strings.Contains(out, "baseline: 2/2 trials") || !strings.Contains(out, "young-fleet: 1/2 trials") ||
+		!strings.Contains(out, "churn-x4: 0/2 trials") {
+		t.Fatalf("banner lacks per-scenario completed counts:\n%s", out[:400])
+	}
+	if !strings.Contains(out, "-resume") {
+		t.Fatal("banner does not tell the reader how to complete the sweep")
 	}
 }

@@ -1,0 +1,156 @@
+// Package faultinject builds deterministic, seed-driven fault plans
+// against the sweep engine's Hooks seams (sweep.Config.Hooks): trial
+// panics at chosen (scenario, trial, attempt) coordinates, torn
+// checkpoint writes at chosen checkpoint ordinals, and simulated
+// process death after a chosen global trial. Because a Plan is a plain
+// value and the hooks it produces consult only that value plus the
+// coordinates the engine hands them, an injected fault schedule is
+// exactly reproducible across runs, worker counts, and -race — the
+// property the recovery test suite (internal/sweep/recovery_test.go)
+// leans on to prove the engine's crash/resume and retry invariants.
+//
+// The package deliberately lives outside internal/sweep's package
+// boundary and reaches the engine only through exported seams: tests
+// exercise precisely the surface a production crash exercises.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"storagesubsys/internal/stats"
+	"storagesubsys/internal/sweep"
+)
+
+// streamPlan derives RandomPlan's choices from its seed. The domain is
+// private to this package; it never mixes with simulation streams
+// because plan RNGs are rooted at the plan seed, not the sweep seed.
+//
+//detlint:streamdomain faultinject
+const streamPlan uint64 = 0xFA
+
+// TrialRef addresses one trial of one scenario.
+type TrialRef struct {
+	Scenario string
+	Trial    int
+}
+
+// Plan is a declarative fault schedule. The zero value injects
+// nothing. Plans are read-only once handed to Hooks, so the returned
+// hook set is safe for concurrent use from every sweep worker.
+type Plan struct {
+	// TrialPanics maps a trial to the number of its leading attempts
+	// that panic: value 1 panics the original attempt only (the retry
+	// succeeds), a value above the sweep's retry budget exhausts it and
+	// forces a permanent TrialFailure.
+	TrialPanics map[TrialRef]int
+	// TruncateCheckpoint maps a 1-based checkpoint-write ordinal to the
+	// byte count the write is silently cut to — modelling a lying
+	// filesystem that reports success for a torn write. The digest in
+	// the checkpoint envelope is what detects it on load.
+	TruncateCheckpoint map[int]int
+	// KillAfterJob, when >= 0, simulates abrupt process death
+	// immediately after the global trial with that index is aggregated:
+	// sweep.Execute returns sweep.ErrKilled with no final checkpoint.
+	KillAfterJob int
+}
+
+// NewPlan returns an empty plan (KillAfterJob disabled).
+func NewPlan() *Plan {
+	return &Plan{
+		TrialPanics:        map[TrialRef]int{},
+		TruncateCheckpoint: map[int]int{},
+		KillAfterJob:       -1,
+	}
+}
+
+// Counts reports what a plan's hooks actually injected — the test-side
+// evidence that a schedule fired. All fields are atomics so hooks can
+// record from concurrent workers under -race.
+type Counts struct {
+	Panics      atomic.Int64
+	Truncations atomic.Int64
+	Kills       atomic.Int64
+}
+
+// Hooks compiles the plan into the sweep engine's hook set, recording
+// every injection in counts (which may be nil).
+func (p *Plan) Hooks(counts *Counts) *sweep.Hooks {
+	return &sweep.Hooks{
+		BeforeTrialAttempt: func(scenario string, trial, attempt int) {
+			if n := p.TrialPanics[TrialRef{scenario, trial}]; attempt < n {
+				if counts != nil {
+					counts.Panics.Add(1)
+				}
+				panic(fmt.Sprintf("faultinject: scripted panic, scenario %q trial %d attempt %d", scenario, trial, attempt))
+			}
+		},
+		CheckpointWriter: func(ordinal int, w io.Writer) io.Writer {
+			n, ok := p.TruncateCheckpoint[ordinal]
+			if !ok {
+				return w
+			}
+			if counts != nil {
+				counts.Truncations.Add(1)
+			}
+			return &truncatingWriter{w: w, left: n}
+		},
+		KillAfterJob: func(job int) bool {
+			if p.KillAfterJob >= 0 && job == p.KillAfterJob {
+				if counts != nil {
+					counts.Kills.Add(1)
+				}
+				return true
+			}
+			return false
+		},
+	}
+}
+
+// truncatingWriter passes through the first left bytes and silently
+// swallows the rest, reporting full success — a torn write the caller
+// cannot see. Detection is the checkpoint digest's job.
+type truncatingWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if t.left > 0 {
+		k := t.left
+		if k > n {
+			k = n
+		}
+		if _, err := t.w.Write(p[:k]); err != nil {
+			return 0, err
+		}
+		t.left -= k
+	}
+	return n, nil
+}
+
+// RandomPlan draws a reproducible fault schedule for a sweep of the
+// given scenario names and per-scenario trial count: each trial
+// independently panics (once) with probability panicProb, and with
+// probability 1/2 the plan kills the process after a uniformly chosen
+// global trial. Same seed, same shape ⇒ same plan, so a randomized
+// recovery test that fails prints a seed that replays exactly.
+func RandomPlan(seed int64, scenarios []string, trials int, panicProb float64) *Plan {
+	r := stats.NewRNG(seed)
+	rng := r.Split(streamPlan)
+	p := NewPlan()
+	for _, s := range scenarios {
+		for t := 0; t < trials; t++ {
+			if rng.Float64() < panicProb {
+				p.TrialPanics[TrialRef{s, t}] = 1
+			}
+		}
+	}
+	jobs := len(scenarios) * trials
+	if jobs > 0 && rng.Float64() < 0.5 {
+		p.KillAfterJob = int(rng.Uint64() % uint64(jobs))
+	}
+	return p
+}

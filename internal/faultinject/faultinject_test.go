@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlanPanicsExactCoordinates: the panic hook fires only at the
+// scripted (scenario, trial, attempt) coordinates and counts firings.
+func TestPlanPanicsExactCoordinates(t *testing.T) {
+	p := NewPlan()
+	p.TrialPanics[TrialRef{"base", 3}] = 2
+	var counts Counts
+	h := p.Hooks(&counts)
+
+	mustPanic := func(scenario string, trial, attempt int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("no panic at %s/%d attempt %d", scenario, trial, attempt)
+			}
+		}()
+		h.BeforeTrialAttempt(scenario, trial, attempt)
+	}
+	mustPanic("base", 3, 0)
+	mustPanic("base", 3, 1)
+	// Attempt 2 exceeds the scripted count: clean.
+	h.BeforeTrialAttempt("base", 3, 2)
+	// Other coordinates: clean.
+	h.BeforeTrialAttempt("base", 2, 0)
+	h.BeforeTrialAttempt("other", 3, 0)
+	if got := counts.Panics.Load(); got != 2 {
+		t.Fatalf("counted %d panics, want 2", got)
+	}
+}
+
+// TestTruncatingWriter: scripted ordinals are cut to the byte budget
+// while reporting full success; unscripted ordinals pass through.
+func TestTruncatingWriter(t *testing.T) {
+	p := NewPlan()
+	p.TruncateCheckpoint[2] = 5
+	var counts Counts
+	h := p.Hooks(&counts)
+
+	var full bytes.Buffer
+	w1 := h.CheckpointWriter(1, &full)
+	if n, err := w1.Write([]byte("hello world")); n != 11 || err != nil {
+		t.Fatalf("pass-through write: n=%d err=%v", n, err)
+	}
+	if full.String() != "hello world" {
+		t.Fatalf("ordinal 1 altered: %q", full.String())
+	}
+
+	var torn bytes.Buffer
+	w2 := h.CheckpointWriter(2, &torn)
+	if n, err := w2.Write([]byte("hel")); n != 3 || err != nil {
+		t.Fatalf("torn write 1: n=%d err=%v", n, err)
+	}
+	if n, err := w2.Write([]byte("lo world")); n != 8 || err != nil {
+		t.Fatalf("torn write 2 must lie about success: n=%d err=%v", n, err)
+	}
+	if torn.String() != "hello" {
+		t.Fatalf("ordinal 2 kept %q, want first 5 bytes only", torn.String())
+	}
+	if got := counts.Truncations.Load(); got != 1 {
+		t.Fatalf("counted %d truncations, want 1", got)
+	}
+}
+
+// TestKillAfterJob: fires exactly at the scripted job, never when
+// disabled.
+func TestKillAfterJob(t *testing.T) {
+	p := NewPlan()
+	var counts Counts
+	h := p.Hooks(&counts)
+	for j := 0; j < 10; j++ {
+		if h.KillAfterJob(j) {
+			t.Fatalf("disabled plan killed at job %d", j)
+		}
+	}
+	p.KillAfterJob = 4
+	for j := 0; j < 10; j++ {
+		if got, want := h.KillAfterJob(j), j == 4; got != want {
+			t.Fatalf("job %d: kill=%v want %v", j, got, want)
+		}
+	}
+	if got := counts.Kills.Load(); got != 1 {
+		t.Fatalf("counted %d kills, want 1", got)
+	}
+}
+
+// TestRandomPlanDeterministic: same seed and shape give the identical
+// schedule; different seeds diverge (with overwhelming probability for
+// this shape).
+func TestRandomPlanDeterministic(t *testing.T) {
+	scens := []string{"a", "b", "c"}
+	p1 := RandomPlan(77, scens, 50, 0.3)
+	p2 := RandomPlan(77, scens, 50, 0.3)
+	if len(p1.TrialPanics) != len(p2.TrialPanics) || p1.KillAfterJob != p2.KillAfterJob {
+		t.Fatalf("same seed diverged: %d/%d panics, kill %d/%d",
+			len(p1.TrialPanics), len(p2.TrialPanics), p1.KillAfterJob, p2.KillAfterJob)
+	}
+	for ref, n := range p1.TrialPanics {
+		if p2.TrialPanics[ref] != n {
+			t.Fatalf("same seed diverged at %+v", ref)
+		}
+	}
+	if len(p1.TrialPanics) == 0 {
+		t.Fatal("panicProb 0.3 over 150 trials injected nothing; schedule draw is broken")
+	}
+	p3 := RandomPlan(78, scens, 50, 0.3)
+	same := p3.KillAfterJob == p1.KillAfterJob && len(p3.TrialPanics) == len(p1.TrialPanics)
+	if same {
+		for ref, n := range p1.TrialPanics {
+			if p3.TrialPanics[ref] != n {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 77 and 78 produced identical schedules")
+	}
+	if p1.KillAfterJob >= 150 {
+		t.Fatalf("kill job %d out of range", p1.KillAfterJob)
+	}
+}
+
+// TestScriptedPanicMessage: the panic value names its coordinates, so
+// a TrialFailure record is self-describing.
+func TestScriptedPanicMessage(t *testing.T) {
+	p := NewPlan()
+	p.TrialPanics[TrialRef{"base", 7}] = 1
+	h := p.Hooks(nil)
+	defer func() {
+		msg, _ := recover().(string)
+		if !strings.Contains(msg, `scenario "base" trial 7 attempt 0`) {
+			t.Fatalf("panic message %q lacks coordinates", msg)
+		}
+	}()
+	h.BeforeTrialAttempt("base", 7, 0)
+}

@@ -258,3 +258,54 @@ func TestSkewInstallWindow(t *testing.T) {
 		t.Fatal("zero skew must be a no-op")
 	}
 }
+
+// TestQuarantineRebuildReplaysIdentically pins the sweep engine's
+// panic-quarantine contract (sweep retry.go): when a trial aborts
+// mid-simulation, the fleet's mutations are torn in ways Checkpoint/
+// Reset bookkeeping cannot be assumed to cover — the recovery path
+// must therefore discard the instance and rebuild from (profiles,
+// scale, seed). This test tears a fleet mid-"trial" with raw mutations
+// that bypass the arena bookkeeping entirely, then verifies a rebuilt
+// fleet replays the trial's event stream, replacement population, and
+// disk-years bit-identically to a never-aborted fresh build — proving
+// the rebuild really is indistinguishable from a brand-new worker.
+func TestQuarantineRebuildReplaysIdentically(t *testing.T) {
+	profiles := opsProfiles()
+	params := opsParams()
+	const scale, buildSeed, simSeed = 0.01, 7, 99
+
+	// The reference: a trial on a fleet that never aborted.
+	ref := fleet.BuildWorkers(opsProfiles(), scale, buildSeed, 2)
+	want := sim.RunWorkers(ref, params, simSeed, 2)
+
+	// The victim: a trial aborts partway through, leaving raw torn
+	// state — removals and flags written directly, no arena commit, a
+	// shelf membership edited in place. Nothing here is visible to the
+	// Checkpoint it took before the trial.
+	f := fleet.BuildWorkers(profiles, scale, buildSeed, 2)
+	_ = f.Checkpoint() // taken like a real worker; deliberately unused after the abort
+	f.Disks[0].Remove = simtime.SecondsPerYear / 2
+	f.Disks[1].Replaced = true
+	f.Disks[2].Install += simtime.SecondsPerYear / 3
+	f.Shelves[0].Disks = f.Shelves[0].Disks[:len(f.Shelves[0].Disks)-1]
+
+	// Quarantine: the torn instance is dropped, a replacement is built
+	// from the same inputs, and the trial re-runs from its seed.
+	f = nil
+	rebuilt := fleet.BuildWorkers(opsProfiles(), scale, buildSeed, 2)
+	got := sim.RunWorkers(rebuilt, params, simSeed, 2)
+
+	sameEvents(t, got.Events, want.Events, "quarantine rebuild")
+	if len(rebuilt.Disks) != len(ref.Disks) {
+		t.Fatalf("rebuilt population %d disks, want %d", len(rebuilt.Disks), len(ref.Disks))
+	}
+	for i := range ref.Disks {
+		if *rebuilt.Disks[i] != *ref.Disks[i] {
+			t.Fatalf("disk %d diverged after quarantine rebuild: %+v vs %+v",
+				i, *rebuilt.Disks[i], *ref.Disks[i])
+		}
+	}
+	if gy, wy := rebuilt.DiskYears(nil), ref.DiskYears(nil); gy != wy {
+		t.Fatalf("disk-years %v after quarantine rebuild, want %v", gy, wy)
+	}
+}

@@ -70,25 +70,52 @@ type MetricSummary struct {
 
 // ScenarioSummary is one scenario's aggregated sweep output.
 type ScenarioSummary struct {
-	Scenario Scenario        `json:"scenario"`
-	Metrics  []MetricSummary `json:"metrics"`
+	Scenario Scenario `json:"scenario"`
+	// TrialsDone counts the trials aggregated for this scenario. Equal
+	// to the sweep's Trials on a complete run; smaller (possibly zero)
+	// when a budget, deadline, or resume-in-progress truncated the
+	// sweep — the explicit completed-trial count behind every partial
+	// CI.
+	TrialsDone int             `json:"trialsDone"`
+	Metrics    []MetricSummary `json:"metrics"`
 }
 
 // Result is a sweep's aggregate output. It deliberately excludes the
 // worker count: the encoded bytes are byte-identical for every
-// Config.Workers value.
+// Config.Workers value — and, via the checkpoint/resume machinery, for
+// every crash/resume split of the trial sequence.
 type Result struct {
-	Trials    int               `json:"trials"`
-	Seed      int64             `json:"seed"`
-	Scale     float64           `json:"scale"`
+	Trials int     `json:"trials"`
+	Seed   int64   `json:"seed"`
+	Scale  float64 `json:"scale"`
+	// Partial marks a budget- or deadline-truncated sweep: per-metric
+	// CIs cover only each scenario's TrialsDone completed trials, and
+	// the sweep can be resumed from its checkpoint to completion.
+	Partial   bool              `json:"partial,omitempty"`
 	Scenarios []ScenarioSummary `json:"scenarios"`
+	// Failures lists trials that panicked (in global trial order):
+	// recovered ones were deterministically re-executed and their
+	// values are in the aggregates; unrecovered ones contributed
+	// nothing. Empty on healthy runs, so the field is invisible in the
+	// canonical JSON.
+	Failures []TrialFailure `json:"failures,omitempty"`
 }
 
-// summarize folds the collector's aggregators into a Result.
-func summarize(cfg Config, trials int, runs []scenarioRun, onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64) *Result {
-	res := &Result{Trials: trials, Seed: cfg.Seed, Scale: cfg.Scale}
+// summarize folds the collector's aggregators into a Result. watermark
+// is the completed-trial watermark (trials are aggregated strictly in
+// global order, so completion is always a contiguous prefix).
+func summarize(cfg Config, trials int, runs []scenarioRun, onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64, watermark int, failures []TrialFailure) *Result {
+	res := &Result{Trials: trials, Seed: cfg.Seed, Scale: cfg.Scale,
+		Partial:  watermark < trials*len(runs),
+		Failures: failures}
 	for si := range runs {
-		ss := ScenarioSummary{Scenario: runs[si].scen, Metrics: make([]MetricSummary, 0, len(Metrics))}
+		done := watermark - si*trials
+		if done < 0 {
+			done = 0
+		} else if done > trials {
+			done = trials
+		}
+		ss := ScenarioSummary{Scenario: runs[si].scen, TrialsDone: done, Metrics: make([]MetricSummary, 0, len(Metrics))}
 		for mi, def := range Metrics {
 			o := &onlines[si][mi]
 			r := reservoirs[si][mi]
@@ -173,8 +200,22 @@ func (s Scenario) Describe(baseScale float64) string {
 func (r *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Monte-Carlo sweep: %d trials/scenario, seed %d, base scale %.2f\n",
 		r.Trials, r.Seed, r.Scale)
+	if r.Partial {
+		fmt.Fprintf(w, "PARTIAL RESULT: the sweep stopped before completing every trial"+
+			" (budget or deadline); confidence intervals cover only each scenario's"+
+			" completed trials. Resume from the checkpoint to finish.\n")
+	}
 	for _, ss := range r.Scenarios {
-		fmt.Fprintf(w, "\n=== %s ===\n", ss.Scenario.Describe(r.Scale))
+		if r.Partial {
+			fmt.Fprintf(w, "\n=== %s — PARTIAL: %d/%d trials ===\n",
+				ss.Scenario.Describe(r.Scale), ss.TrialsDone, r.Trials)
+			if ss.TrialsDone == 0 {
+				fmt.Fprintf(w, "(no trials completed)\n")
+				continue
+			}
+		} else {
+			fmt.Fprintf(w, "\n=== %s ===\n", ss.Scenario.Describe(r.Scale))
+		}
 		headers := []string{"Metric", "Point", "Mean", "95% CI", "P5", "P50", "P95", "StdDev", "Paper"}
 		var rows [][]string
 		for _, m := range ss.Metrics {
@@ -214,7 +255,16 @@ func (r *Result) Check(cfg Config) error {
 	if len(scens) != len(r.Scenarios) {
 		return fmt.Errorf("sweep: check config has %d scenarios, result has %d", len(scens), len(r.Scenarios))
 	}
+	for _, f := range r.Failures {
+		if !f.Recovered {
+			return fmt.Errorf("sweep: scenario %q trial %d panicked %d time(s) without recovering (last panic: %s); its metrics are missing from the aggregates",
+				f.Scenario, f.Trial, f.Attempts, f.Panic)
+		}
+	}
 	for si, ss := range r.Scenarios {
+		if r.Partial && ss.TrialsDone == 0 {
+			continue // nothing aggregated; no point estimate to validate
+		}
 		run := newScenarioRun(scens[si], cfg)
 		f := run.buildFleet(cfg.Seed)
 		env := experiments.RunTrial(experiments.Config{

@@ -1,0 +1,72 @@
+package sweep
+
+import "testing"
+
+// TestTrialSeedContract pins the seed-derivation contract documented
+// on trialSeed — the foundation the checkpoint/resume and panic-retry
+// machinery stand on. If any pinned value changes, every existing
+// checkpoint and every recorded sweep result silently means something
+// else: bump checkpointVersion and say so in the changelog.
+func TestTrialSeedContract(t *testing.T) {
+	// (1) Purity: the derivation consults no draw position and no prior
+	// trial, so evaluation order is irrelevant — a resumed or retried
+	// trial re-derives exactly its original seed.
+	order := []int{9, 0, 5, 9, 1 << 20, 0, 3, 5}
+	first := map[int]int64{}
+	for _, ti := range order {
+		s := trialSeed(42, ti)
+		if prev, ok := first[ti]; ok && prev != s {
+			t.Fatalf("trialSeed(42, %d) changed between calls: %d then %d", ti, prev, s)
+		}
+		first[ti] = s
+	}
+
+	// (2) Pinned goldens, small through near the 2^56 stream-key edge.
+	// These values are load-bearing: checkpoints record aggregates of
+	// trials derived from them.
+	pins := []struct {
+		seed  int64
+		trial int
+		want  int64
+	}{
+		{42, 0, 43}, // canonical single-run derivation, no split
+		{42, 1, -4315508655484591049},
+		{42, 2, -8200012742839865890},
+		{42, 1 << 20, -4398277632718949994},
+		{42, 1 << 40, 1709711053516058867},
+		{42, 1<<55 - 1, -1023901932446682832},
+		{0, 1 << 40, 7851166349264073049},
+		{-7, 1 << 40, 4922529145661483701},
+	}
+	for _, p := range pins {
+		if got := trialSeed(p.seed, p.trial); got != p.want {
+			t.Errorf("trialSeed(%d, %d) = %d, want pinned %d", p.seed, p.trial, got, p.want)
+		}
+	}
+
+	// (3) Large-index distinctness: stream keys 0x57 | i<<8 are unique
+	// below 2^56, so seeds stay decoupled even at indices no real sweep
+	// reaches. Probe a spread of extreme indices plus neighbors that
+	// would collide under a buggy shift.
+	idx := []int{
+		1, 2, 255, 256, 257,
+		1<<20 - 1, 1 << 20, 1<<20 + 1,
+		1 << 40, 1<<40 + 1,
+		1<<55 - 2, 1<<55 - 1,
+	}
+	seen := map[int64]int{}
+	for _, ti := range idx {
+		s := trialSeed(42, ti)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("trial seeds collide: trials %d and %d both map to %d", prev, ti, s)
+		}
+		seen[s] = ti
+	}
+
+	// (4) Seed separation: different sweep seeds give different trial
+	// seeds at the same index (the grids would otherwise share
+	// histories).
+	if trialSeed(42, 1<<40) == trialSeed(0, 1<<40) {
+		t.Fatal("sweep seeds 42 and 0 share a trial seed at index 1<<40")
+	}
+}

@@ -29,12 +29,15 @@
 package sweep
 
 import (
+	"errors"
+	"io"
+	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
-	"storagesubsys/internal/experiments"
 	"storagesubsys/internal/failmodel"
 	"storagesubsys/internal/fleet"
-	"storagesubsys/internal/sim"
 	"storagesubsys/internal/stats"
 )
 
@@ -159,7 +162,40 @@ type Config struct {
 	// ReservoirSize caps the per-metric quantile sample (0 = 512).
 	// Quantiles are exact while Trials fits in the reservoir.
 	ReservoirSize int
+
+	// CheckpointPath, when non-empty, periodically persists the
+	// collector's aggregation state (see checkpoint.go) so a crashed or
+	// budget-stopped sweep can be resumed with Execute; a final
+	// checkpoint is written on every graceful exit, partial or not.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in completed trials
+	// (0 = 64). Only meaningful with CheckpointPath.
+	CheckpointEvery int
+	// MaxRetries bounds per-trial re-executions after a panic
+	// (0 = DefaultRetries; negative disables retries). See retry.go.
+	MaxRetries int
+	// BudgetTrials, when positive, stops the sweep gracefully once that
+	// many trials (in global order, resumed progress included) have
+	// been aggregated: workers drain, a checkpoint is written, and the
+	// Result is marked Partial with per-scenario completed counts.
+	// Deterministic: a budgeted sweep is an exact prefix of the full
+	// one.
+	BudgetTrials int
+	// MaxWall, when positive, is the wall-clock budget: workers stop
+	// picking up trials once it elapses and the sweep drains into a
+	// checkpointed partial Result. Unlike every other knob this makes
+	// the stopping point timing-dependent; the aggregated prefix is
+	// still exact, so resuming later completes the identical Result.
+	MaxWall time.Duration
+	// Hooks are the fault-injection seams (nil in production runs).
+	Hooks *Hooks
 }
+
+// ErrKilled is returned by Execute when Hooks.KillAfterJob simulates
+// abrupt process death mid-sweep: no Result, no final checkpoint —
+// recovery starts from the last periodic checkpoint, like a real
+// crash.
+var ErrKilled = errors.New("sweep: killed by fault-injection hook")
 
 // DefaultConfig mirrors cmd/sweep's flag defaults: 20 trials per
 // scenario over the default three-scenario grid at quarter scale.
@@ -173,6 +209,24 @@ func DefaultConfig() Config {
 // sweep's spread brackets the standalone point estimate by
 // construction; later trials draw decoupled 64-bit keys from a
 // splittable stream.
+//
+// Seed-derivation contract (the crash/resume and retry machinery both
+// lean on it; TestTrialSeedContract pins it):
+//
+//  1. trialSeed is a pure function of (sweep seed, trial index) — it
+//     consults no draw position and no prior trial, so a resumed or
+//     retried trial re-derives exactly the seed it was first given,
+//     regardless of how many trials ran before it or on which worker.
+//  2. Trial i > 0 maps to the split stream key 0x57 | i<<8: the trial
+//     index occupies bits 8..63 and the low byte is the reserved
+//     streamTrialSeed identity, so distinct trial indices below 2^56
+//     (far past any reachable sweep size; scenario×trial grids are
+//     int-bounded long before) yield distinct stream keys and
+//     therefore decoupled streams — resuming after N trials can never
+//     collide a recomputed stream with a fresh one.
+//  3. Trial 0 bypasses the split entirely (the canonical seed+1), so
+//     the reserved low byte keeps the splittable range disjoint from
+//     every other stream constant in this domain.
 func trialSeed(seed int64, trial int) int64 {
 	if trial == 0 {
 		return seed + 1
@@ -242,10 +296,12 @@ func (r *scenarioRun) buildFleet(seed int64) *fleet.Fleet {
 }
 
 // trialOut is one finished trial's metric vector, tagged with its
-// global job index for ordered aggregation.
+// global job index for ordered aggregation. vals is nil (and fail
+// non-nil) when the trial exhausted its retry budget.
 type trialOut struct {
 	job  int
 	vals []float64
+	fail *TrialFailure
 }
 
 // Progress receives collector notifications as scenarios complete;
@@ -253,7 +309,9 @@ type trialOut struct {
 type Progress func(scenario Scenario, trialsDone int)
 
 // Run executes the sweep and returns its aggregated Result. See the
-// package comment for the determinism and allocation contracts.
+// package comment for the determinism and allocation contracts. It
+// panics on checkpoint IO errors and injected kills — configs using
+// CheckpointPath or Hooks should call Execute instead.
 func Run(cfg Config) *Result {
 	return RunProgress(cfg, nil)
 }
@@ -261,24 +319,31 @@ func Run(cfg Config) *Result {
 // RunProgress is Run with a per-scenario completion callback, invoked
 // from the collector as each scenario's last trial is aggregated.
 func RunProgress(cfg Config, progress Progress) *Result {
-	trials := cfg.Trials
-	if trials < 1 {
-		trials = 1
+	res, err := Execute(cfg, nil, progress)
+	if err != nil {
+		panic("sweep: RunProgress: " + err.Error() + " (use Execute for checkpointed or fault-injected runs)")
 	}
-	scens := cfg.Scenarios
-	if len(scens) == 0 {
-		scens = Grids["default"]
-	}
+	return res
+}
+
+// Execute runs the sweep, optionally resuming from a checkpoint. The
+// crash/resume contract extends the worker-count-equivalence contract:
+// restoring a checkpoint taken at any trial boundary and running the
+// remaining trials produces a Result whose JSON is byte-identical to
+// an uninterrupted run's, for any worker count on either side of the
+// interruption. resume may be nil (fresh run); its identity must match
+// cfg (same trials, seed, scale, findings, reservoir size, and
+// scenario grid — everything that determines the math; workers,
+// budgets, deadlines and checkpoint cadence are free to differ).
+//
+// Execute returns an error only for checkpoint validation/IO failures
+// and injected kills (ErrKilled); budget- and deadline-stopped sweeps
+// return a Partial Result with err == nil.
+func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, error) {
+	ident := checkpointIdentity(cfg)
+	trials, scens, resCap := ident.Trials, ident.Scenarios, ident.ReservoirSize
 	nScen := len(scens)
 	jobs := nScen * trials
-	workers := fleet.EffectiveWorkers(cfg.Workers)
-	if workers > jobs {
-		workers = jobs
-	}
-	resCap := cfg.ReservoirSize
-	if resCap <= 0 {
-		resCap = 512
-	}
 
 	runs := make([]scenarioRun, nScen)
 	for i, s := range scens {
@@ -286,6 +351,8 @@ func RunProgress(cfg Config, progress Progress) *Result {
 	}
 
 	// Per-scenario, per-metric aggregators, fed only by the collector.
+	// Points start at NaN so a scenario whose trial 0 never ran (partial
+	// sweeps) reports a null point estimate rather than a silent zero.
 	nMet := len(Metrics)
 	root := stats.NewRNG(cfg.Seed)
 	onlines := make([][]stats.Online, nScen)
@@ -298,44 +365,77 @@ func RunProgress(cfg Config, progress Progress) *Result {
 		for mi := range Metrics {
 			rng := root.Split(streamReservoir | uint64(si)<<8 | uint64(mi)<<32)
 			reservoirs[si][mi] = stats.NewReservoir(resCap, rng)
+			points[si][mi] = math.NaN()
+		}
+	}
+
+	startJob := 0
+	var failures []TrialFailure
+	if resume != nil {
+		var err error
+		startJob, failures, err = restoreCheckpoint(resume, ident, onlines, reservoirs, points)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The run's job range: [startJob, endJob). A trial budget truncates
+	// the range deterministically — the budgeted sweep is an exact
+	// prefix of the full one, resumable to completion later.
+	endJob := jobs
+	if cfg.BudgetTrials > 0 && cfg.BudgetTrials < endJob {
+		endJob = cfg.BudgetTrials
+	}
+	if endJob < startJob {
+		endJob = startJob
+	}
+	remaining := endJob - startJob
+	workers := fleet.EffectiveWorkers(cfg.Workers)
+	if workers > remaining {
+		workers = remaining
+	}
+
+	// stop drains the pool early: the wall-clock deadline and injected
+	// kills set it; workers check it before picking up each trial.
+	var stop atomic.Bool
+	var overDeadline func() bool
+	if cfg.MaxWall > 0 {
+		// The deadline is the one legitimate wall-clock dependency in
+		// this package: it bounds *when the sweep stops*, never any
+		// aggregated value — the completed prefix stays exact.
+		//detlint:ignore strayrand monotonic deadline only gates graceful drain; no aggregated value depends on the clock
+		start := time.Now()
+		overDeadline = func() bool {
+			//detlint:ignore strayrand monotonic deadline only gates graceful drain; no aggregated value depends on the clock
+			return time.Since(start) > cfg.MaxWall
 		}
 	}
 
 	// Workers: contiguous job shards (scenario-major, trial-minor), so
 	// each worker crosses as few scenario boundaries as possible and
 	// reuses its fleet via Reset whenever the population is unchanged.
+	// Each trial runs under the retry.go recover boundary.
 	out := make(chan trialOut, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
-		lo := wi * jobs / workers
-		hi := (wi + 1) * jobs / workers
+		lo := startJob + wi*remaining/workers
+		hi := startJob + (wi+1)*remaining/workers
 		if lo == hi {
 			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var f *fleet.Fleet
-			var cp fleet.Checkpoint
-			var haveKey fleetKey
-			var scratch sim.Scratch
+			w := newTrialWorker(&cfg, runs, trials, nMet)
 			for j := lo; j < hi; j++ {
-				r := &runs[j/trials]
-				if f == nil || r.key != haveKey {
-					f = r.buildFleet(cfg.Seed)
-					cp = f.Checkpoint()
-					haveKey = r.key
-				} else {
-					f.Reset(cp)
+				if stop.Load() {
+					return
 				}
-				env := experiments.RunTrial(experiments.Config{
-					Scale:   r.key.scale,
-					Seed:    cfg.Seed,
-					Mine:    r.scen.Mine,
-					Params:  r.params,
-					Workers: 1,
-				}, f, trialSeed(cfg.Seed, j%trials), &scratch)
-				out <- trialOut{job: j, vals: trialVector(env, cfg.Findings, make([]float64, 0, nMet))}
+				if overDeadline != nil && overDeadline() {
+					stop.Store(true)
+					return
+				}
+				out <- w.runJob(j)
 			}
 		}(lo, hi)
 	}
@@ -344,14 +444,48 @@ func RunProgress(cfg Config, progress Progress) *Result {
 		close(out)
 	}()
 
+	// abort stops the pool and drains the channel so returning early
+	// never strands a worker blocked on send.
+	abort := func() {
+		stop.Store(true)
+		go func() {
+			for range out {
+			}
+		}()
+	}
+
 	// Ordered collector: aggregate strictly in global job order so the
 	// aggregation sequence — and every floating-point summary — is
-	// independent of worker scheduling.
-	pending := make(map[int][]float64, workers)
-	next := 0
-	push := func(vals []float64) {
+	// independent of worker scheduling. Checkpoints are taken between
+	// whole trials at the watermark, so their state is always a
+	// contiguous prefix of the sweep.
+	pending := make(map[int]trialOut, workers)
+	next := startJob
+	ckptOrdinal := 0
+	saveCheckpoint := func() error {
+		if cfg.CheckpointPath == "" {
+			return nil
+		}
+		ckptOrdinal++
+		var wrap func(w io.Writer) io.Writer
+		if cfg.Hooks != nil && cfg.Hooks.CheckpointWriter != nil {
+			ord := ckptOrdinal
+			wrap = func(w io.Writer) io.Writer { return cfg.Hooks.CheckpointWriter(ord, w) }
+		}
+		st := captureCheckpoint(ident, next, failures, onlines, reservoirs, points)
+		return st.Save(cfg.CheckpointPath, wrap)
+	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 64
+	}
+	lastCkpt := startJob
+	push := func(o trialOut) {
 		si, ti := next/trials, next%trials
-		for mi, v := range vals {
+		if o.fail != nil {
+			failures = append(failures, *o.fail)
+		}
+		for mi, v := range o.vals {
 			if ti == 0 {
 				points[si][mi] = v
 			}
@@ -366,17 +500,36 @@ func RunProgress(cfg Config, progress Progress) *Result {
 		}
 	}
 	for o := range out {
-		pending[o.job] = o.vals
+		pending[o.job] = o
 		for {
-			vals, ok := pending[next]
+			po, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			push(vals)
+			push(po)
 			next++
+			if cfg.Hooks != nil && cfg.Hooks.KillAfterJob != nil && cfg.Hooks.KillAfterJob(next-1) {
+				// Simulated crash: no final checkpoint, no Result. The
+				// last periodic checkpoint is all recovery gets.
+				abort()
+				return nil, ErrKilled
+			}
+		}
+		if cfg.CheckpointPath != "" && next-lastCkpt >= every && next < endJob {
+			if err := saveCheckpoint(); err != nil {
+				abort()
+				return nil, err
+			}
+			lastCkpt = next
 		}
 	}
 
-	return summarize(cfg, trials, runs, onlines, reservoirs, points)
+	// Drained: either the range completed or the deadline stopped the
+	// pool mid-range. Out-of-order stragglers past a stopped watermark
+	// are discarded — resume recomputes them.
+	if err := saveCheckpoint(); err != nil {
+		return nil, err
+	}
+	return summarize(cfg, trials, runs, onlines, reservoirs, points, next, failures), nil
 }
