@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	expreport [-o EXPERIMENTS.md] [-in sweep.json]
+//	expreport [-o EXPERIMENTS.md] [-in sweep.json] [-grid-file scenario.json]
 //	          [-trials 24] [-scale 0.10] [-seed 42] [-grid ops] [-workers N]
 //
 // With no flags it runs the canonical configuration behind the
@@ -22,6 +22,14 @@
 // the sweep, so expensive sweeps (full scale, high trial counts) can
 // be rendered without recomputation. -o writes atomically-ish to a
 // file instead of stdout.
+//
+// -grid-file names a declarative scenario file (SCENARIOS.md). When
+// the sweep runs here, the file supplies the grid and run parameters
+// exactly as in cmd/sweep (explicit flag > scenario file > default).
+// Either way, the file's user-authored assertion bands are joined
+// against the result and rendered as an extra verdict section — so
+// `-in sweep.json -grid-file scenario.json` re-judges an existing
+// sweep against the file's assertions without recomputation.
 package main
 
 import (
@@ -32,17 +40,19 @@ import (
 	"os"
 
 	"storagesubsys/internal/expreport"
+	"storagesubsys/internal/scenario"
 	"storagesubsys/internal/sweep"
 )
 
 func main() {
 	canon := expreport.CanonicalConfig()
 	out := flag.String("o", "", "output file (default stdout)")
-	in := flag.String("in", "", "join an existing cmd/sweep -json result instead of running the sweep")
+	in := flag.String("in", "", "join an existing cmd/sweep -json result instead of running the sweep (combine with -grid-file to also judge that file's assertion bands)")
 	trials := flag.Int("trials", canon.Trials, "Monte-Carlo trials per scenario")
 	scale := flag.Float64("scale", canon.Scale, "base population scale")
 	seed := flag.Int64("seed", canon.Seed, "sweep seed")
-	grid := flag.String("grid", "ops", "scenario grid name or JSON file (see cmd/sweep)")
+	grid := flag.String("grid", "ops", "built-in scenario grid name (see cmd/sweep)")
+	gridFile := flag.String("grid-file", "", "declarative scenario file: grid, run parameters, and assertion bands to judge (see SCENARIOS.md)")
 	workers := flag.Int("workers", 0, "trial worker goroutines (0 = one per CPU; output is identical for every count)")
 	flag.Parse()
 
@@ -56,11 +66,28 @@ func main() {
 		fatal(fmt.Errorf("-scale must be in (0, 1.5]"))
 	}
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["grid"] && set["grid-file"] {
+		fatal(fmt.Errorf("-grid and -grid-file are mutually exclusive (one grid per sweep)"))
+	}
+
+	var spec *scenario.Spec
+	if *gridFile != "" {
+		s, err := scenario.Load(*gridFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec = s
+	}
+
 	var res *sweep.Result
 	if *in != "" {
 		// -in renders an already-computed sweep: its configuration is
 		// whatever the JSON was swept with, so combining it with
 		// sweep-config flags would silently drop them — reject instead.
+		// -grid-file is the exception: with -in it only contributes its
+		// assertion bands, which join any result.
 		conflicting := map[string]bool{"trials": true, "scale": true, "seed": true, "grid": true, "workers": true}
 		flag.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] {
@@ -69,19 +96,40 @@ func main() {
 		})
 		res = loadResult(*in)
 	} else {
-		scens, err := sweep.LoadGrid(*grid)
-		if err != nil {
-			fatal(err)
-		}
 		cfg := sweep.Config{
-			Trials:    *trials,
-			Seed:      *seed,
-			Scale:     *scale,
-			Workers:   *workers,
-			Scenarios: scens,
+			Trials:  *trials,
+			Seed:    *seed,
+			Scale:   *scale,
+			Workers: *workers,
+		}
+		if spec != nil {
+			// Explicit flag > scenario file > canonical default, exactly
+			// as in cmd/sweep.
+			cfg = spec.Config(cfg)
+			if set["trials"] {
+				cfg.Trials = *trials
+			}
+			if set["seed"] {
+				cfg.Seed = *seed
+			}
+			if set["scale"] {
+				cfg.Scale = *scale
+			}
+		} else {
+			scens, err := sweep.LoadGrid(*grid)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Scenarios = scens
+		}
+		if cfg.Trials < 1 {
+			fatal(fmt.Errorf("trial count %d must be at least 1 (scenario file and -trials combined)", cfg.Trials))
+		}
+		if cfg.Scale <= 0 || cfg.Scale > 1.5 {
+			fatal(fmt.Errorf("base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale))
 		}
 		fmt.Fprintf(os.Stderr, "expreport: sweeping %d scenarios x %d trials at scale %.2f (seed %d)\n",
-			len(scens), cfg.Trials, cfg.Scale, cfg.Seed)
+			len(cfg.Scenarios), cfg.Trials, cfg.Scale, cfg.Seed)
 		res = sweep.RunProgress(cfg, func(s sweep.Scenario, done int) {
 			fmt.Fprintf(os.Stderr, "expreport: scenario %q complete (%d trials)\n", s.Name, done)
 		})
@@ -100,7 +148,7 @@ func main() {
 		}()
 		w = f
 	}
-	if err := expreport.Render(w, res); err != nil {
+	if err := expreport.RenderSpec(w, res, spec); err != nil {
 		fatal(err)
 	}
 }

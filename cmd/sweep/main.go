@@ -6,10 +6,28 @@
 //
 // Usage:
 //
-//	sweep [-trials 20] [-grid default|burst|mine|scale|smoke|ops|file.json]
+//	sweep [-trials 20] [-grid default|burst|mine|scale|smoke|ops]
+//	      [-grid-file scenario.json]
 //	      [-scale 0.25] [-seed 42] [-workers N] [-findings] [-json] [-check]
 //	      [-checkpoint sweep.ckpt] [-checkpoint-every 64] [-resume]
 //	      [-budget N] [-max-wall 30m] [-retries N]
+//	sweep validate scenario.json...
+//
+// -grid selects a compiled built-in grid; -grid-file loads a
+// declarative scenario file instead (the validated JSON format
+// documented in SCENARIOS.md: run parameters, the scenario grid, and
+// optional assertion bands cmd/expreport joins against the result).
+// Every built-in grid has a committed file twin under
+// examples/scenarios/, and a file-loaded grid sweeps byte-identically
+// to its compiled twin. A scenario file's trials/seed/scale/findings
+// apply unless the corresponding flag is set explicitly: explicit flag
+// > scenario file > default. With -checkpoint, the scenario file's
+// content digest becomes part of the checkpoint identity, so -resume
+// refuses a checkpoint taken under a different scenario file.
+//
+// "sweep validate" parses and validates each named scenario file
+// without running anything, printing one line per file; malformed
+// files produce a one-line positional error and a non-zero exit.
 //
 // Each scenario's fleet is built once and rolled back between trials,
 // and trials are sharded across a worker pool with recycled simulation
@@ -47,12 +65,14 @@ import (
 	"os"
 	"strings"
 
+	"storagesubsys/internal/scenario"
 	"storagesubsys/internal/sweep"
 )
 
 func main() {
 	trials := flag.Int("trials", 20, "Monte-Carlo trials per scenario")
-	grid := flag.String("grid", "default", "scenario grid: "+strings.Join(sweep.GridNames(), ", ")+", or a JSON file of scenarios")
+	grid := flag.String("grid", "default", "built-in scenario grid: "+strings.Join(sweep.GridNames(), ", ")+" (file-defined grids use -grid-file)")
+	gridFile := flag.String("grid-file", "", "declarative scenario file (validated JSON; see SCENARIOS.md and examples/scenarios/)")
 	scale := flag.Float64("scale", 0.25, "base population scale relative to the paper's 39,000 systems (scenarios may override)")
 	seed := flag.Int64("seed", 42, "sweep seed; fully determines every fleet and trial")
 	workers := flag.Int("workers", 0, "trial worker goroutines (0 = one per CPU; every count yields byte-identical output)")
@@ -68,7 +88,10 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		fatalf(2, "unexpected argument %q (sweep takes flags only; see -h)", flag.Arg(0))
+		if flag.Arg(0) == "validate" {
+			os.Exit(runValidate(flag.Args()[1:]))
+		}
+		fatalf(2, "unexpected argument %q (sweep takes flags, or the \"validate\" subcommand; see -h)", flag.Arg(0))
 	}
 	if *trials < 1 {
 		fatalf(2, "-trials must be at least 1")
@@ -93,11 +116,10 @@ func main() {
 			fatalf(2, "-checkpoint-every requires -checkpoint")
 		}
 	}
-	scens, err := sweep.LoadGrid(*grid)
-	if err != nil {
-		// LoadGrid errors already carry the "sweep:" prefix.
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["grid"] && set["grid-file"] {
+		fatalf(2, "-grid and -grid-file are mutually exclusive (one grid per sweep)")
 	}
 
 	cfg := sweep.Config{
@@ -105,7 +127,6 @@ func main() {
 		Seed:            *seed,
 		Scale:           *scale,
 		Workers:         *workers,
-		Scenarios:       scens,
 		Findings:        *findings,
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *every,
@@ -113,10 +134,47 @@ func main() {
 		BudgetTrials:    *budget,
 		MaxWall:         *maxWall,
 	}
+	if *gridFile != "" {
+		spec, err := scenario.Load(*gridFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Spec run parameters apply where the flag was not explicitly
+		// set: explicit flag > scenario file > default.
+		cfg = spec.Config(cfg)
+		if set["trials"] {
+			cfg.Trials = *trials
+		}
+		if set["seed"] {
+			cfg.Seed = *seed
+		}
+		if set["scale"] {
+			cfg.Scale = *scale
+		}
+		if set["findings"] {
+			cfg.Findings = *findings
+		}
+	} else {
+		scens, err := sweep.LoadGrid(*grid)
+		if err != nil {
+			// LoadGrid errors already carry the "sweep:" prefix.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Scenarios = scens
+	}
+	if cfg.Trials < 1 {
+		fatalf(2, "trial count %d must be at least 1 (scenario file and -trials combined)", cfg.Trials)
+	}
+	if cfg.Scale <= 0 || cfg.Scale > 1.5 {
+		fatalf(2, "base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale)
+	}
 
 	var st *sweep.CheckpointState
 	if *resume {
 		var src string
+		var err error
 		st, src, err = sweep.RecoverCheckpoint(*checkpoint)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
@@ -125,11 +183,11 @@ func main() {
 			fatalf(2, "-resume: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "sweep: resuming from %s at trial %d of %d\n",
-			src, st.NextJob, len(scens)**trials)
+			src, st.NextJob, len(cfg.Scenarios)*cfg.Trials)
 	}
 
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios x %d trials at base scale %.2f (seed %d)\n",
-		len(scens), *trials, *scale, *seed)
+		len(cfg.Scenarios), cfg.Trials, cfg.Scale, cfg.Seed)
 	res, err := sweep.Execute(cfg, st, func(s sweep.Scenario, done int) {
 		fmt.Fprintf(os.Stderr, "sweep: scenario %q complete (%d trials)\n", s.Name, done)
 	})
@@ -163,6 +221,28 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "sweep: self-check passed: single-seed reruns match trial 0 bit-for-bit and fall inside the sweep spread")
 	}
+}
+
+// runValidate implements "sweep validate scenario.json...": parse and
+// validate each named scenario file without running anything. One line
+// per file; any failure makes the exit code 1.
+func runValidate(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: validate needs at least one scenario file (usage: sweep validate scenario.json...)")
+		return 2
+	}
+	code := 0
+	for _, path := range paths {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("sweep: %s: OK — %q, %d scenarios, %d assertions, digest %s\n",
+			path, spec.Name, len(spec.Scenarios), len(spec.Assertions), spec.Digest()[:12])
+	}
+	return code
 }
 
 func fatalf(code int, format string, args ...any) {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"storagesubsys/internal/paperref"
+	"storagesubsys/internal/scenario"
 	"storagesubsys/internal/sweep"
 )
 
@@ -133,6 +134,61 @@ func verdict(band paperref.Band, m sweep.MetricSummary) Verdict {
 	return Outside
 }
 
+// AssertionResult is one user-authored scenario-file assertion joined
+// against the sweep result — the same shape as TargetResult, plus the
+// scenario the band was resolved against.
+type AssertionResult struct {
+	Assertion scenario.Assertion
+	// Scenario is the resolved scenario name (the spec's baseline when
+	// the assertion names none).
+	Scenario string
+	// Band is the assertion band after fleet-scale adjustment.
+	Band paperref.Band
+	// Metric is the joined summary; zero (N == 0, verdict "no data")
+	// when the result carries no scenario of that name — possible when
+	// a spec's assertions are joined against a foreign -in result.
+	Metric  sweep.MetricSummary
+	Verdict Verdict
+}
+
+// ConfrontAssertions joins every assertion in the spec against the
+// sweep result, through exactly the verdict rule the paper bands use.
+// Assertions resolve to their named scenario (the spec's baseline when
+// unnamed); bands marked ScalesWithFleet are multiplied by that
+// scenario's effective population scale first.
+func ConfrontAssertions(res *sweep.Result, spec *scenario.Spec) []AssertionResult {
+	type summary struct {
+		byName map[string]sweep.MetricSummary
+		scale  float64
+	}
+	byScen := make(map[string]summary, len(res.Scenarios))
+	for _, ss := range res.Scenarios {
+		m := make(map[string]sweep.MetricSummary, len(ss.Metrics))
+		for _, ms := range ss.Metrics {
+			m[ms.Name] = ms
+		}
+		byScen[ss.Scenario.Name] = summary{byName: m, scale: ss.Scenario.EffScale(res.Scale)}
+	}
+	out := make([]AssertionResult, 0, len(spec.Assertions))
+	for _, a := range spec.Assertions {
+		name := a.Scenario
+		if name == "" {
+			name = spec.BaselineScenario()
+		}
+		ar := AssertionResult{Assertion: a, Scenario: name, Band: a.Band(), Verdict: NoData}
+		if ss, ok := byScen[name]; ok {
+			if a.ScalesWithFleet {
+				ar.Band.Lo *= ss.scale
+				ar.Band.Hi *= ss.scale
+			}
+			ar.Metric = ss.byName[a.Metric]
+			ar.Verdict = verdict(ar.Band, ar.Metric)
+		}
+		out = append(out, ar)
+	}
+	return out
+}
+
 // sensitivityMetrics are the headline statistics the scenario
 // sensitivity table tracks across the grid.
 var sensitivityMetrics = []string{
@@ -153,6 +209,15 @@ var sensitivityMetrics = []string{
 // scenario); every scenario appears in the sensitivity section. The
 // output is a pure function of res.
 func Render(w io.Writer, res *sweep.Result) error {
+	return RenderSpec(w, res, nil)
+}
+
+// RenderSpec is Render plus the scenario-file join: when spec is
+// non-nil and carries assertions, a "Scenario-file assertions" section
+// confronts every user-authored band with the sweep result through the
+// same verdict rule as the paper bands. A nil spec (or one without
+// assertions) renders byte-identically to Render.
+func RenderSpec(w io.Writer, res *sweep.Result, spec *scenario.Spec) error {
 	if len(res.Scenarios) == 0 {
 		return fmt.Errorf("expreport: sweep result has no scenarios")
 	}
@@ -249,6 +314,51 @@ func Render(w io.Writer, res *sweep.Result) error {
 		for _, tr := range fr.Targets {
 			if tr.Target.Note != "" {
 				notes = append(notes, fmt.Sprintf("`%s`: %s", tr.Target.Metric, tr.Target.Note))
+			}
+		}
+		if len(notes) > 0 {
+			fmt.Fprintf(&b, "\n*Notes: %s.*\n", strings.Join(notes, "; "))
+		}
+		b.WriteString("\n")
+	}
+
+	if spec != nil && len(spec.Assertions) > 0 {
+		fmt.Fprintf(&b, "## Scenario-file assertions — `%s`\n\n", spec.Name)
+		b.WriteString("User-authored expectation bands from the scenario file (format:\n[SCENARIOS.md](SCENARIOS.md)), joined against the sweep with the same verdict\nrule as the paper bands above. Each band is the file's expected value widened\nby its relative tolerance; bands marked as fleet-scaled are multiplied by the\nscenario's effective population scale first.\n\n")
+		ars := ConfrontAssertions(res, spec)
+		aWithin := 0
+		for _, ar := range ars {
+			if ar.Verdict == WithinCI {
+				aWithin++
+			}
+		}
+		fmt.Fprintf(&b, "**%d of %d assertions within the 95%% CI.**\n\n", aWithin, len(ars))
+		b.WriteString("| Scenario | Metric | Expected | Cite | Point | Mean | 95% CI | Verdict |\n")
+		b.WriteString("| --- | --- | --- | --- | --- | --- | --- | --- |\n")
+		for _, ar := range ars {
+			u := ar.Assertion.DisplayUnit()
+			m := ar.Metric
+			verdictCell := ar.Verdict.String()
+			switch ar.Verdict {
+			case WithinCI:
+				verdictCell = "**within CI**"
+			case Outside:
+				verdictCell = "**OUTSIDE**"
+			}
+			fmt.Fprintf(&b, "| %s | `%s` | %s | %s | %s | %s | [%s, %s] | %s |\n",
+				ar.Scenario,
+				ar.Assertion.Metric,
+				ar.Band.Format(u),
+				ar.Assertion.Cite,
+				u.Format(float64(m.Point)),
+				u.Format(float64(m.Mean)),
+				u.Format(float64(m.CILo)), u.Format(float64(m.CIHi)),
+				verdictCell)
+		}
+		notes := make([]string, 0, len(ars))
+		for _, ar := range ars {
+			if ar.Assertion.Note != "" {
+				notes = append(notes, fmt.Sprintf("`%s`: %s", ar.Assertion.Metric, ar.Assertion.Note))
 			}
 		}
 		if len(notes) > 0 {

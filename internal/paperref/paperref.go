@@ -36,6 +36,48 @@ const (
 	Count
 )
 
+// ParseUnit maps a unit's serialized name — "fraction", "ratio",
+// "count", the vocabulary scenario files use — to its Unit. The second
+// result is false for anything else (including the empty string).
+func ParseUnit(s string) (Unit, bool) {
+	switch s {
+	case "fraction":
+		return Fraction, true
+	case "ratio":
+		return Ratio, true
+	case "count":
+		return Count, true
+	}
+	return Count, false
+}
+
+// Name is ParseUnit's inverse: the unit's serialized name.
+func (u Unit) Name() string {
+	switch u {
+	case Fraction:
+		return "fraction"
+	case Ratio:
+		return "ratio"
+	default:
+		return "count"
+	}
+}
+
+// UnitOf returns the display unit the registry uses for a metric, so
+// user-authored assertion bands (internal/scenario) render in the same
+// convention as the paper's own band for that metric. The second
+// result is false when no registry target names the metric.
+func UnitOf(metric string) (Unit, bool) {
+	for _, f := range Findings {
+		for _, tg := range f.Targets {
+			if tg.Metric == metric {
+				return tg.Unit, true
+			}
+		}
+	}
+	return Count, false
+}
+
 // Format renders a value in the unit's display convention.
 func (u Unit) Format(v float64) string {
 	if math.IsNaN(v) {

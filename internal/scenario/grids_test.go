@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"storagesubsys/internal/sweep"
+)
+
+func loadTwin(t *testing.T, grid string) *Spec {
+	t.Helper()
+	spec, err := Load(filepath.Join("..", "..", "examples", "scenarios", grid+".json"))
+	if err != nil {
+		t.Fatalf("loading the %s twin: %v", grid, err)
+	}
+	return spec
+}
+
+// TestTwinsMatchCompiledGrids: every built-in grid has a committed file
+// twin under examples/scenarios/ whose scenario list is exactly the
+// compiled one. Because a sweep result is a pure function of its
+// Config (GridDigest never enters any computed value), twin equality
+// here is what makes file-loaded sweeps byte-identical to compiled
+// ones; TestFileGridByteIdentity spot-checks that end to end.
+func TestTwinsMatchCompiledGrids(t *testing.T) {
+	for _, grid := range sweep.GridNames() {
+		spec := loadTwin(t, grid)
+		if spec.Name != grid {
+			t.Errorf("%s twin is named %q, want %q", grid, spec.Name, grid)
+		}
+		if spec.Trials != 0 || spec.Seed != 0 || spec.Scale != 0 || spec.Findings {
+			t.Errorf("%s twin must not pin run parameters (it must inherit flags exactly like -grid %s)", grid, grid)
+		}
+		if len(spec.Assertions) != 0 {
+			t.Errorf("%s twin must not carry assertions", grid)
+		}
+		if !reflect.DeepEqual(spec.Scenarios, sweep.Grids[grid]) {
+			t.Errorf("%s twin diverged from the compiled grid:\n file:     %+v\n compiled: %+v",
+				grid, spec.Scenarios, sweep.Grids[grid])
+		}
+	}
+}
+
+// TestFileGridByteIdentity runs real sweeps: for each built-in grid,
+// the file-loaded twin at workers 1 and workers 4 must produce the
+// same JSON bytes as the compiled grid. Tiny trials/scale keep this
+// tier-1 affordable; the scenario-list equality above covers the
+// values this spot check does not sweep.
+func TestFileGridByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every grid; skipped with -short")
+	}
+	for _, grid := range sweep.GridNames() {
+		base := sweep.Config{Trials: 2, Seed: 42, Scale: 0.005, Findings: false}
+
+		compiled := base
+		compiled.Workers = 1
+		compiled.Scenarios = sweep.Grids[grid]
+		var want bytes.Buffer
+		if err := sweep.Run(compiled).WriteJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+
+		spec := loadTwin(t, grid)
+		for _, workers := range []int{1, 4} {
+			cfg := spec.Config(base)
+			cfg.Workers = workers
+			var got bytes.Buffer
+			if err := sweep.Run(cfg).WriteJSON(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("grid %s: file-loaded sweep at %d workers diverged from the compiled grid's bytes",
+					grid, workers)
+			}
+		}
+	}
+}

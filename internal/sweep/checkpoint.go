@@ -58,6 +58,14 @@ type CheckpointConfig struct {
 	Findings      bool       `json:"findings"`
 	ReservoirSize int        `json:"reservoirSize"`
 	Scenarios     []Scenario `json:"scenarios"`
+	// GridDigest fingerprints the scenario file the grid came from
+	// (empty for compiled grids; omitted from the JSON then, so
+	// pre-digest checkpoints keep loading). The digest is identity even
+	// though equal scenarios compute equal results: a resumed sweep's
+	// report is labeled and joined (assertion bands) by its scenario
+	// file, so silently continuing under a different file would attach
+	// the wrong artifact to the result.
+	GridDigest string `json:"gridDigest,omitempty"`
 }
 
 // checkpointIdentity resolves a Config to its checkpoint identity,
@@ -83,6 +91,7 @@ func checkpointIdentity(cfg Config) CheckpointConfig {
 		Findings:      cfg.Findings,
 		ReservoirSize: resCap,
 		Scenarios:     scens,
+		GridDigest:    cfg.GridDigest,
 	}
 }
 
@@ -90,6 +99,7 @@ func checkpointIdentity(cfg Config) CheckpointConfig {
 func (c CheckpointConfig) equal(o CheckpointConfig) bool {
 	if c.Trials != o.Trials || c.Seed != o.Seed || c.Scale != o.Scale ||
 		c.Findings != o.Findings || c.ReservoirSize != o.ReservoirSize ||
+		c.GridDigest != o.GridDigest ||
 		len(c.Scenarios) != len(o.Scenarios) {
 		return false
 	}
@@ -274,6 +284,22 @@ func captureCheckpoint(ident CheckpointConfig, next int, failures []TrialFailure
 // the global job index aggregation resumes from.
 func restoreCheckpoint(st *CheckpointState, ident CheckpointConfig,
 	onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64) (next int, failures []TrialFailure, err error) {
+	// The scenario-file digest gets its own error: every other identity
+	// field appears in the generic message below, but a digest mismatch
+	// with otherwise-equal numbers means the scenario *file* changed —
+	// or the grid moved between a file and the compiled registry — and
+	// the fix is different (restore the original file, or start fresh).
+	if st.Config.GridDigest != ident.GridDigest {
+		describe := func(d string) string {
+			if d == "" {
+				return "a compiled built-in grid (no file)"
+			}
+			return "scenario file digest " + d[:12] + "…"
+		}
+		return 0, nil, fmt.Errorf("sweep: checkpoint was taken under a different scenario file "+
+			"(checkpoint: %s; run: %s); resume with the original scenario file, or start fresh without -resume",
+			describe(st.Config.GridDigest), describe(ident.GridDigest))
+	}
 	if !st.Config.equal(ident) {
 		return 0, nil, fmt.Errorf("sweep: checkpoint was taken for a different sweep configuration "+
 			"(checkpoint: %d trials, seed %d, scale %g, %d scenarios; run: %d trials, seed %d, scale %g, %d scenarios); "+

@@ -346,6 +346,50 @@ func TestResumeRejectsForeignCheckpoint(t *testing.T) {
 	}
 }
 
+// TestResumeRejectsGridDigestMismatch: the scenario-file digest is part
+// of the checkpoint identity. A checkpoint taken under one scenario
+// file must not resume under another file — or under a compiled grid —
+// even when every swept value matches, and the error must say which
+// artifacts disagree.
+func TestResumeRejectsGridDigestMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cfg := recoveryConfig(1)
+	cfg.CheckpointPath = ckpt
+	cfg.GridDigest = strings.Repeat("aa", 32)
+	if _, err := sweep.Execute(cfg, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := sweep.RecoverCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := recoveryConfig(1)
+	other.GridDigest = strings.Repeat("bb", 32)
+	_, err = sweep.Execute(other, st, nil)
+	if err == nil || !strings.Contains(err.Error(), "different scenario file") {
+		t.Fatalf("digest mismatch accepted: %v", err)
+	}
+
+	compiled := recoveryConfig(1)
+	_, err = sweep.Execute(compiled, st, nil)
+	if err == nil || !strings.Contains(err.Error(), "compiled built-in grid") {
+		t.Fatalf("file-checkpointed state resumed under a compiled grid: %v", err)
+	}
+
+	// The matching digest still resumes (the checkpoint is complete, so
+	// this is a pure restore — and its bytes must match a clean run).
+	same := recoveryConfig(1)
+	same.GridDigest = cfg.GridDigest
+	res, err := sweep.Execute(same, st, nil)
+	if err != nil {
+		t.Fatalf("matching digest refused: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, res), cleanRun(t, 1)) {
+		t.Fatal("digest participation changed the result bytes")
+	}
+}
+
 // TestRandomizedCrashRecovery: a seed-driven fault schedule — random
 // recoverable panics plus a random kill point — must always recover to
 // the clean run's bytes. A failure prints the plan seed, which replays

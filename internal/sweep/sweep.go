@@ -155,6 +155,13 @@ type Config struct {
 	Workers int
 	// Scenarios is the grid; empty selects Grids["default"].
 	Scenarios []Scenario
+	// GridDigest, when non-empty, is the content digest of the scenario
+	// file the grid was loaded from (internal/scenario Spec.Digest).
+	// It never affects any computed value — same scenarios, same bytes,
+	// digest or not — but it participates in checkpoint identity:
+	// resuming refuses a checkpoint taken under a different scenario
+	// file digest. Compiled grids leave it empty.
+	GridDigest string
 	// Findings additionally evaluates the paper's Findings 1-11 per
 	// trial (the findings_pass metric; roughly doubles per-trial
 	// analysis cost).
