@@ -178,6 +178,19 @@ func BenchmarkSweep(b *testing.B) { benchmarkSweep(b, 1) }
 // BenchmarkSweepWorkersMax shards the trials over every available CPU.
 func BenchmarkSweepWorkersMax(b *testing.B) { benchmarkSweep(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkSweepPairedDeltas measures the sweep with CRN paired-delta
+// aggregation on: the same smoke grid as BenchmarkSweep plus the
+// deltaAgg absorbing every trial vector and the delta-table summaries.
+// The difference against BenchmarkSweep is the cost of the
+// variance-reduction layer itself.
+func BenchmarkSweepPairedDeltas(b *testing.B) {
+	cfg := sweep.Config{Trials: 4, Seed: 42, Scale: 0.01, Workers: 1, Deltas: true, Scenarios: sweep.Grids["smoke"]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep.Run(cfg)
+	}
+}
+
 // BenchmarkSweepOpsGrid measures the operational-dimension grid
 // (install-window skew, churn, repair lag, sparse shelves): six
 // scenarios, four of whose topology dimensions defeat the worker's

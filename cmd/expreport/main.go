@@ -96,10 +96,13 @@ func main() {
 		})
 		res = loadResult(*in)
 	} else {
+		// Deltas are always accumulated here: the report's CRN contrast
+		// tables need them, and they never change the summary numbers.
 		cfg := sweep.Config{
 			Trials:  *trials,
 			Seed:    *seed,
 			Scale:   *scale,
+			Deltas:  true,
 			Workers: *workers,
 		}
 		if spec != nil {

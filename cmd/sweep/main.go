@@ -11,6 +11,7 @@
 //	      [-scale 0.25] [-seed 42] [-workers N] [-findings] [-json] [-check]
 //	      [-checkpoint sweep.ckpt] [-checkpoint-every 64] [-resume]
 //	      [-budget N] [-max-wall 30m] [-retries N]
+//	      [-variance none|antithetic|stratified] [-deltas]
 //	sweep validate scenario.json...
 //
 // -grid selects a compiled built-in grid; -grid-file loads a
@@ -42,6 +43,17 @@
 // demanding bit-identical metrics. -findings adds the Findings 1-11
 // pass count per trial at roughly double the analysis cost. Progress
 // goes to stderr; results to stdout.
+//
+// Variance reduction: -deltas contrasts every non-baseline scenario
+// with the baseline on common random numbers, reporting the paired
+// mean difference with its (much tighter) 95% CI per metric.
+// -variance selects a trial-pairing mode — antithetic mirrors odd
+// trials' RNG streams, stratified spreads each disk's baseline
+// arrival count over a Latin-hypercube grid — and scenarios (or a
+// scenario file) may override it per cell. Any non-none mode changes
+// that scenario's draws, so its output is only comparable to runs
+// with the same mode; with both knobs unset, output bytes are
+// identical to builds without them.
 //
 // Fault tolerance: -checkpoint periodically persists the aggregation
 // state (digest-protected; the previous checkpoint is kept as
@@ -85,6 +97,8 @@ func main() {
 	budget := flag.Int("budget", 0, "stop gracefully after this many trials in global order (0 = no budget; result marked partial, resumable)")
 	maxWall := flag.Duration("max-wall", 0, "wall-clock budget, e.g. 30m (0 = none; result marked partial, resumable)")
 	retries := flag.Int("retries", 0, "per-trial retries after a panic (0 = default 2; negative disables)")
+	variance := flag.String("variance", "", "variance-reduction mode: none, antithetic (pairs trials 2k/2k+1 on mirrored streams; needs an even -trials), or stratified (Latin-hypercube baseline arrival counts); scenarios may override")
+	deltas := flag.Bool("deltas", false, "accumulate CRN paired deltas of every non-baseline scenario against the baseline (adds a deltas section to tables and JSON)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -107,6 +121,9 @@ func main() {
 	}
 	if *every < 0 {
 		fatalf(2, "-checkpoint-every must be >= 0")
+	}
+	if !sweep.ValidVariance(*variance) {
+		fatalf(2, "-variance is %q, must be none, antithetic or stratified", *variance)
 	}
 	if *checkpoint == "" {
 		if *resume {
@@ -133,6 +150,8 @@ func main() {
 		MaxRetries:      *retries,
 		BudgetTrials:    *budget,
 		MaxWall:         *maxWall,
+		Variance:        *variance,
+		Deltas:          *deltas,
 	}
 	if *gridFile != "" {
 		spec, err := scenario.Load(*gridFile)
@@ -155,6 +174,12 @@ func main() {
 		if set["findings"] {
 			cfg.Findings = *findings
 		}
+		if set["variance"] {
+			cfg.Variance = *variance
+		}
+		if set["deltas"] {
+			cfg.Deltas = *deltas
+		}
 	} else {
 		scens, err := sweep.LoadGrid(*grid)
 		if err != nil {
@@ -169,6 +194,13 @@ func main() {
 	}
 	if cfg.Scale <= 0 || cfg.Scale > 1.5 {
 		fatalf(2, "base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale)
+	}
+	if cfg.Trials%2 != 0 {
+		for _, s := range cfg.Scenarios {
+			if s.EffVariance(cfg.Variance) == sweep.VarianceAntithetic {
+				fatalf(2, "antithetic pairing needs an even trial count, got %d (scenario %q resolves to variance antithetic)", cfg.Trials, s.Name)
+			}
+		}
 	}
 
 	var st *sweep.CheckpointState

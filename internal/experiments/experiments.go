@@ -38,6 +38,15 @@ type Config struct {
 	// results (see fleet.BuildWorkers and sim.RunWorkers), so this only
 	// affects wall-clock.
 	Workers int
+	// Antithetic runs the simulation on the mirrored RNG root
+	// (sim.Opts); set by the sweep engine's "antithetic" variance mode
+	// for the odd trial of each pair. The zero value is the plain
+	// engine.
+	Antithetic bool
+	// Strata stratifies baseline Poisson failure counts (sim.Strata);
+	// set by the sweep engine's "stratified" variance mode. The zero
+	// value disables stratification.
+	Strata sim.Strata
 }
 
 // DefaultConfig is the configuration cmd/reproduce uses unless told
@@ -88,7 +97,7 @@ func RunTrial(cfg Config, f *fleet.Fleet, simSeed int64, scratch *sim.Scratch) *
 	if params == nil {
 		params = failmodel.DefaultParams()
 	}
-	res := sim.RunWorkersScratch(f, params, simSeed, cfg.Workers, scratch)
+	res := sim.RunWorkersOpts(f, params, simSeed, cfg.Workers, scratch, sim.Opts{Antithetic: cfg.Antithetic, Strata: cfg.Strata})
 	//detlint:ignore hotalloc the Env is the trial's output envelope; one allocation per trial, retained by the caller
 	env := &Env{Config: cfg, Fleet: f, Params: params}
 	if cfg.Mine {

@@ -36,6 +36,7 @@ func CanonicalConfig() sweep.Config {
 		Trials:    24,
 		Seed:      42,
 		Scale:     0.10,
+		Deltas:    true,
 		Scenarios: sweep.Grids["ops"],
 	}
 }
@@ -320,6 +321,95 @@ func RenderSpec(w io.Writer, res *sweep.Result, spec *scenario.Spec) error {
 			fmt.Fprintf(&b, "\n*Notes: %s.*\n", strings.Join(notes, "; "))
 		}
 		b.WriteString("\n")
+	}
+
+	if len(res.Scenarios) > 1 {
+		b.WriteString("## Per-scenario paper verdicts\n\n")
+		b.WriteString("The sections above judge the baseline scenario; this matrix judges **every**\ngrid scenario against the full paper-band registry, each at its own effective\npopulation scale. A paper value that stays within CI across a row's\noperational stresses is robust to fleet operations; a cell that flips to\nOUTSIDE names the scenario that breaks it.\n\n")
+		perScen := make([][]FindingResult, len(res.Scenarios))
+		for i, ss := range res.Scenarios {
+			perScen[i] = Confront(ss, ss.Scenario.EffScale(res.Scale))
+		}
+		b.WriteString("| Scenario | Within CI | In spread | Outside | No data |\n")
+		b.WriteString("| --- | --- | --- | --- | --- |\n")
+		for i, ss := range res.Scenarios {
+			cw, ci, co, cn := 0, 0, 0, 0
+			for _, fr := range perScen[i] {
+				for _, tr := range fr.Targets {
+					switch tr.Verdict {
+					case WithinCI:
+						cw++
+					case InSpread:
+						ci++
+					case Outside:
+						co++
+					default:
+						cn++
+					}
+				}
+			}
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d |\n", ss.Scenario.Name, cw, ci, co, cn)
+		}
+		b.WriteString("\n")
+		b.WriteString("| Finding | Metric |")
+		for _, ss := range res.Scenarios {
+			fmt.Fprintf(&b, " %s |", ss.Scenario.Name)
+		}
+		b.WriteString("\n| --- | --- |")
+		for range res.Scenarios {
+			b.WriteString(" --- |")
+		}
+		b.WriteString("\n")
+		for fi, fr := range perScen[0] {
+			label := "ctx"
+			if fr.Finding.ID != 0 {
+				label = fmt.Sprintf("%d", fr.Finding.ID)
+			}
+			for ti := range fr.Targets {
+				fmt.Fprintf(&b, "| %s | `%s` |", label, fr.Targets[ti].Target.Metric)
+				for si := range perScen {
+					cell := perScen[si][fi].Targets[ti].Verdict.String()
+					if perScen[si][fi].Targets[ti].Verdict == Outside {
+						cell = "**OUTSIDE**"
+					}
+					fmt.Fprintf(&b, " %s |", cell)
+				}
+				b.WriteString("\n")
+			}
+		}
+		b.WriteString("\n")
+	}
+
+	if len(res.Deltas) > 0 {
+		b.WriteString("## Paired deltas — CRN contrasts against the baseline\n\n")
+		b.WriteString("Each non-baseline scenario is contrasted with the baseline on **common\nrandom numbers**: trial k of both scenarios replays the identical RNG\nstream tree, so the per-trial difference cancels the shared Monte-Carlo\nnoise and the paired 95% CI below is far tighter than differencing the\ntwo independent CIs above. `Corr` is the correlation between the two\nlegs (near +1 means the coupling cancelled most of the noise); `Sig`\nmarks contrasts whose CI excludes zero — operational effects the sweep\nresolves above its noise floor. Headline metrics only; every metric's\ncontrast is in the sweep JSON (`go run ./cmd/sweep -grid ops -deltas -json`).\n\n")
+		for _, sd := range res.Deltas {
+			fmt.Fprintf(&b, "### %s − %s\n\n", sd.Scenario, sd.Baseline)
+			byName := make(map[string]sweep.DeltaSummary, len(sd.Metrics))
+			for _, d := range sd.Metrics {
+				byName[d.Name] = d
+			}
+			b.WriteString("| Metric | Δ mean | 95% CI | Corr | Sig |\n")
+			b.WriteString("| --- | --- | --- | --- | --- |\n")
+			for _, name := range sensitivityMetrics {
+				d, ok := byName[name+"_delta"]
+				if !ok || d.N == 0 {
+					fmt.Fprintf(&b, "| `%s` | — | — | — | |\n", name+"_delta")
+					continue
+				}
+				sig := ""
+				if float64(d.CILo) > 0 || float64(d.CIHi) < 0 {
+					sig = "*"
+				}
+				corr := "—"
+				if !math.IsNaN(float64(d.Corr)) {
+					corr = fmt.Sprintf("%.3f", float64(d.Corr))
+				}
+				fmt.Fprintf(&b, "| `%s` | %+.4g | [%+.4g, %+.4g] | %s | %s |\n",
+					d.Name, float64(d.Mean), float64(d.CILo), float64(d.CIHi), corr, sig)
+			}
+			b.WriteString("\n")
+		}
 	}
 
 	if spec != nil && len(spec.Assertions) > 0 {

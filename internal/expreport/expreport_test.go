@@ -23,6 +23,7 @@ func goldenConfig(workers int) sweep.Config {
 		Trials:  2,
 		Seed:    42,
 		Scale:   0.02,
+		Deltas:  true,
 		Workers: workers,
 		Scenarios: []sweep.Scenario{
 			{Name: "baseline"},

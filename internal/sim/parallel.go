@@ -57,6 +57,16 @@ func RunWorkers(f *fleet.Fleet, params *failmodel.Params, seed int64, workers in
 // RunWorkers. The result is bit-identical to a fresh run for every
 // (workers, scratch) combination.
 func RunWorkersScratch(f *fleet.Fleet, params *failmodel.Params, seed int64, workers int, sc *Scratch) *Result {
+	return RunWorkersOpts(f, params, seed, workers, sc, Opts{})
+}
+
+// RunWorkersOpts is RunWorkersScratch with a variance-reduction mode
+// (see variance.go). The zero Opts is exactly RunWorkersScratch — the
+// plain engine, bit for bit. With opts.Antithetic the entire stream
+// tree is mirrored; with opts.Strata.Count > 0 baseline failure counts
+// are drawn from this trial's stratum. Either way the result remains
+// bit-identical for every (workers, scratch) combination.
+func RunWorkersOpts(f *fleet.Fleet, params *failmodel.Params, seed int64, workers int, sc *Scratch, opts Opts) *Result {
 	workers = fleet.EffectiveWorkers(workers)
 	if n := len(f.Systems); workers > n {
 		workers = n
@@ -73,8 +83,12 @@ func RunWorkersScratch(f *fleet.Fleet, params *failmodel.Params, seed int64, wor
 
 	// The root stream is shared read-only across workers: Split is a
 	// pure function of (identity, stream key), so concurrent splits are
-	// race-free and allocation-free.
+	// race-free and allocation-free. An antithetic run mirrors the root;
+	// the flip mask propagates through every descendant split.
 	root := stats.NewRNG(seed).Split(streamSim)
+	if opts.Antithetic {
+		root = root.Antithetic()
+	}
 	initial := len(f.Disks)
 
 	ws := sc.ws[:workers]
@@ -82,6 +96,10 @@ func RunWorkersScratch(f *fleet.Fleet, params *failmodel.Params, seed int64, wor
 	for i := range ws {
 		w := ws[i]
 		w.f, w.params, w.initial = f, params, initial
+		w.strata = opts.Strata
+		if opts.Strata.Count > 0 {
+			w.permRoot = *stats.NewRNG(opts.Strata.Seed)
+		}
 		w.events = w.events[:0]
 		w.arena.Reset()
 		lo := i * len(f.Systems) / workers

@@ -50,20 +50,21 @@ import (
 //
 //detlint:streamdomain sim
 const (
-	streamSim    uint64 = iota + 1 // root of the whole simulation
-	streamSys                      // + system ID: one stream per system
-	streamShelf                    // + shelf ID: one stream per shelf
-	streamEnv                      // shelf environment episodes
-	streamSlot                     // + slot index: one stream per slot
-	streamBase                     // per-slot baseline disk failures
-	streamEnvHit                   // per-slot environment-hit marks
-	streamChurn                    // per-slot proactive churn
-	streamCause                    // per-slot disk failure cause mix
-	streamPI                       // shelf-level interconnect episodes
-	streamPerf                     // shelf performance episodes
-	streamLoop                     // system loop-level interconnect episodes
-	streamProto                    // system protocol episodes
-	streamRepair                   // per-slot stochastic repair lags (RepairLagSigma > 0 only)
+	streamSim     uint64 = iota + 1 // root of the whole simulation
+	streamSys                       // + system ID: one stream per system
+	streamShelf                     // + shelf ID: one stream per shelf
+	streamEnv                       // shelf environment episodes
+	streamSlot                      // + slot index: one stream per slot
+	streamBase                      // per-slot baseline disk failures
+	streamEnvHit                    // per-slot environment-hit marks
+	streamChurn                     // per-slot proactive churn
+	streamCause                     // per-slot disk failure cause mix
+	streamPI                        // shelf-level interconnect episodes
+	streamPerf                      // shelf performance episodes
+	streamLoop                      // system loop-level interconnect episodes
+	streamProto                     // system protocol episodes
+	streamRepair                    // per-slot stochastic repair lags (RepairLagSigma > 0 only)
+	streamStratum                   // + disk ID: trial-independent stratum permutations (Strata.Count > 0 only)
 )
 
 // streamKey combines a stream constant with a component index. The
@@ -133,6 +134,10 @@ type worker struct {
 	chains   []slotChain       // flat per-slot occupancy chains (per system)
 	shelfOff []int             // chains[shelfOff[i]:shelfOff[i+1]] = shelf i's slots
 	permBuf  []int             // partial Fisher–Yates scratch (per burst)
+
+	// Variance-reduction state (see variance.go); zero when disabled.
+	strata   Strata    // stratified baseline-count sampling config
+	permRoot stats.RNG // trial-independent root for stratum permutations
 }
 
 // disk resolves a disk ID: non-negative IDs index the shared fleet,
@@ -262,7 +267,7 @@ func (w *worker) simulateSlot(sys *fleet.System, diskID int, envTimes []simtime.
 
 	cands := w.cands[:0]
 	baseRNG := r.Split(streamBase)
-	w.times = poissonTimes(w.times[:0], p.DiskBaseRate(d.Model), d.Install, end, &baseRNG)
+	w.times = w.basePoissonTimes(w.times[:0], p.DiskBaseRate(d.Model), d.Install, end, &baseRNG, d.ID)
 	for _, t := range w.times {
 		cands = append(cands, candidate{t, candBase})
 	}

@@ -1,0 +1,99 @@
+package sim
+
+// Variance-reduction modes for Monte-Carlo trials (internal/sweep's
+// `variance` knob). Both are gated: the zero Opts reproduces the plain
+// engine bit for bit, so calibrated streams and committed goldens are
+// untouched unless a caller opts in.
+//
+//   - Antithetic: the whole simulation runs on a mirrored RNG root
+//     (stats.RNG.Antithetic), so every uniform any process draws is the
+//     exact 53-bit-grid reflection of the plain run's. Monotone
+//     statistics of paired plain/mirrored trials are negatively
+//     correlated, which shrinks the variance of their average.
+//   - Stratified: the dominant randomness — each slot's baseline
+//     Poisson failure count — is drawn by inverse CDF from a uniform
+//     confined to this trial's stratum of [0,1), so across the sweep's
+//     T trials every slot's count CDF is sampled once per stratum
+//     instead of T times at random. Conditional on the count, arrival
+//     times are i.i.d. uniforms — exactly the distribution of
+//     homogeneous-Poisson order statistics — so the per-trial law is
+//     unchanged. A per-disk affine permutation (keyed only by
+//     Strata.Seed and the disk ID, never the trial) decorrelates
+//     strata across disks, Latin-hypercube style, while keeping the
+//     assignment identical for every trial of the sweep.
+
+import (
+	"slices"
+
+	"storagesubsys/internal/simtime"
+	"storagesubsys/internal/stats"
+)
+
+// Strata configures stratified sampling of baseline failure counts.
+// The zero value disables stratification.
+type Strata struct {
+	Index int   // this trial's stratum in [0, Count)
+	Count int   // total strata (the sweep's trial count); 0 disables
+	Seed  int64 // permutation key, shared by every trial of the sweep
+}
+
+// Opts selects a variance-reduction mode for one simulation run. The
+// zero value is the plain engine. Opts is a small value type so the
+// sweep's hot path can pass it without allocating.
+type Opts struct {
+	Antithetic bool   // run on the mirrored RNG root
+	Strata     Strata // stratify baseline Poisson counts
+}
+
+// gcd returns the greatest common divisor of two positive ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// basePoissonTimes draws one slot's baseline failure times: plain
+// poissonTimes when stratification is off, otherwise the stratified
+// inverse-CDF draw described in the package comment above. The
+// stratified count consumes r (the slot's streamBase stream) for the
+// in-stratum uniform and the arrival times, so distinct trials still
+// diverge within their stratum; the stratum permutation draws from the
+// trial-independent permRoot, so every trial agrees on which stratum
+// it owns for each disk.
+//
+//detlint:hotpath
+func (w *worker) basePoissonTimes(buf []simtime.Seconds, ratePerYear float64, from, to simtime.Seconds, r *stats.RNG, diskID int) []simtime.Seconds {
+	if w.strata.Count == 0 {
+		return poissonTimes(buf, ratePerYear, from, to, r)
+	}
+	if ratePerYear <= 0 || to <= from {
+		return buf
+	}
+	n := w.strata.Count
+	slot := 0
+	if n > 1 {
+		// Affine bijection t -> (a*t + b) mod n with gcd(a, n) = 1,
+		// keyed per disk: a cheap allocation-free permutation of the
+		// strata that is identical across trials.
+		pr := w.permRoot.Split(streamKey(streamStratum, diskID))
+		a := 1 + pr.Intn(n-1)
+		for gcd(a, n) != 1 {
+			a = 1 + pr.Intn(n-1)
+		}
+		b := pr.Intn(n)
+		slot = (a*w.strata.Index + b) % n
+	}
+	// Uniform confined to this stratum: u in [slot/n, (slot+1)/n),
+	// strictly below 1, so PoissonInvCDF's domain holds.
+	u := (float64(slot) + r.Float64()) / float64(n)
+	mean := ratePerYear * float64(to-from) / float64(simtime.SecondsPerYear)
+	k := stats.PoissonInvCDF(mean, u)
+	for i := 0; i < k; i++ {
+		buf = append(buf, from+simtime.Seconds(r.Float64()*float64(to-from)))
+	}
+	// Order statistics: sorted i.i.d. uniforms are exactly the arrival
+	// times of a homogeneous Poisson process conditioned on its count.
+	slices.Sort(buf)
+	return buf
+}

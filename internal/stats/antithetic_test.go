@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAntitheticMirrorExact pins the mirror algebra: an antithetic
+// stream's Uint64 is the bit complement of the plain stream's, and on
+// the 53-bit Float64 grid the two uniforms sum to exactly 1 - 2^-53
+// (the largest value below 1 the grid can represent). Exactness
+// matters — the sweep's antithetic mode relies on the reflection being
+// a measure-preserving involution, not an approximation.
+func TestAntitheticMirrorExact(t *testing.T) {
+	const ulp53 = 1.0 / (1 << 53)
+	r := NewRNG(42)
+	a := r.Antithetic()
+	for i := 0; i < 2000; i++ {
+		u, v := r.Uint64(), a.Uint64()
+		if u != ^v {
+			t.Fatalf("draw %d: antithetic Uint64 %x is not the complement of %x", i, v, u)
+		}
+	}
+	r2 := NewRNG(42)
+	a2 := r2.Antithetic()
+	for i := 0; i < 2000; i++ {
+		sum := r2.Float64() + a2.Float64()
+		if sum != 1-ulp53 {
+			t.Fatalf("draw %d: u + u' = %v, want exactly 1 - 2^-53", i, sum)
+		}
+	}
+}
+
+// TestAntitheticInvolution: mirroring twice restores the plain stream,
+// and a plain stream's bytes are untouched by the existence of the
+// flip field (zero mask = identity) — the gate that keeps every golden
+// byte unchanged when no variance mode is set.
+func TestAntitheticInvolution(t *testing.T) {
+	r := NewRNG(9)
+	a := r.Antithetic()
+	back := a.Antithetic()
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != back.Uint64() {
+			t.Fatalf("draw %d: double mirror is not the identity", i)
+		}
+	}
+	if NewRNG(9).State().Flip != 0 {
+		t.Fatal("fresh RNG carries a non-zero flip mask")
+	}
+}
+
+// TestAntitheticPropagatesThroughSplit: every descendant of an
+// antithetic root mirrors the corresponding plain descendant, at any
+// split depth — the property that turns one flipped root into an
+// entire mirrored trial.
+func TestAntitheticPropagatesThroughSplit(t *testing.T) {
+	r := NewRNG(1234)
+	a := r.Antithetic()
+	for _, keys := range [][]uint64{{3}, {0x57}, {1, 2}, {7, 1 << 20, 5}} {
+		rp, ap := r.Split(keys[0]), a.Split(keys[0])
+		for _, k := range keys[1:] {
+			rp, ap = rp.Split(k), ap.Split(k)
+		}
+		for i := 0; i < 50; i++ {
+			u, v := rp.Uint64(), ap.Uint64()
+			if u != ^v {
+				t.Fatalf("split path %v draw %d: descendant not mirrored", keys, i)
+			}
+		}
+	}
+}
+
+// TestAntitheticStateRoundTrip: the flip mask survives serialization,
+// so a checkpointed antithetic stream resumes as a mirror rather than
+// silently reverting to the plain stream.
+func TestAntitheticStateRoundTrip(t *testing.T) {
+	r := NewRNG(5)
+	a := r.Antithetic()
+	a.Uint64()
+	restored := RestoreRNG(a.State())
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != restored.Uint64() {
+			t.Fatalf("draw %d: restored antithetic stream diverged", i)
+		}
+	}
+}
+
+// TestAntitheticNegativeCorrelation is the satellite self-check for
+// the pairing: for a statistic monotone in its uniforms (here the mean
+// of a block of draws, and an exponential total), the plain and
+// mirrored legs must be strongly negatively correlated — that
+// anticorrelation is the entire variance-reduction mechanism, so the
+// test demands it decisively rather than merely negative.
+func TestAntitheticNegativeCorrelation(t *testing.T) {
+	var uniform, expo PairedOnline
+	for rep := 0; rep < 300; rep++ {
+		r := NewRNG(int64(rep))
+		a := r.Antithetic()
+		var su, sv, eu, ev float64
+		for i := 0; i < 64; i++ {
+			su += r.Float64()
+			sv += a.Float64()
+		}
+		uniform.Push(su/64, sv/64)
+		r2 := NewRNG(int64(rep)).Split(3)
+		a2 := r2.Antithetic()
+		for i := 0; i < 32; i++ {
+			eu += r2.Exponential(1.5)
+			ev += a2.Exponential(1.5)
+		}
+		expo.Push(eu, ev)
+	}
+	if c := uniform.Corr(); !(c < -0.99) {
+		t.Errorf("uniform-mean legs correlate at %v, want < -0.99", c)
+	}
+	if c := expo.Corr(); !(c < -0.5) {
+		t.Errorf("exponential-total legs correlate at %v, want < -0.5", c)
+	}
+	// And the variance payoff itself: the paired average (u+u')/2 of the
+	// uniform means is exactly constant, so its delta-leg spread is the
+	// degenerate best case; check the averaged estimator beats a plain
+	// pair of independent blocks.
+	var paired, indep Online
+	for rep := 0; rep < 300; rep++ {
+		r := NewRNG(int64(1000 + rep))
+		a := r.Antithetic()
+		var su, sv float64
+		for i := 0; i < 64; i++ {
+			su += r.Float64()
+			sv += a.Float64()
+		}
+		paired.Push((su + sv) / 128)
+		r2 := NewRNG(int64(5000 + rep))
+		var s2 float64
+		for i := 0; i < 128; i++ {
+			s2 += r2.Float64()
+		}
+		indep.Push(s2 / 128)
+	}
+	if pv, iv := paired.Variance(), indep.Variance(); pv > iv*0.01 {
+		t.Errorf("antithetic mean-estimator variance %v not decisively below independent %v", pv, iv)
+	}
+	if math.Abs(paired.Mean()-0.5) > 1e-9 {
+		t.Errorf("antithetic uniform-mean estimator biased: %v", paired.Mean())
+	}
+}

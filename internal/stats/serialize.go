@@ -23,18 +23,22 @@ type RNGState struct {
 	S1  uint64 `json:"s1"`
 	S2  uint64 `json:"s2"`
 	S3  uint64 `json:"s3"`
+	// Flip is the antithetic output mask (see RNG.Antithetic); zero for
+	// plain streams and omitted from JSON, so pre-existing checkpoint
+	// bytes are unchanged.
+	Flip uint64 `json:"flip,omitempty"`
 }
 
 // State captures the RNG's current stream identity and draw position.
 func (r *RNG) State() RNGState {
-	return RNGState{Key: r.key, S0: r.s0, S1: r.s1, S2: r.s2, S3: r.s3}
+	return RNGState{Key: r.key, S0: r.s0, S1: r.s1, S2: r.s2, S3: r.s3, Flip: r.flip}
 }
 
 // RestoreRNG reconstructs an RNG from a captured state. The restored
 // stream continues exactly where the captured one stood: same key,
 // same future draws.
 func RestoreRNG(st RNGState) *RNG {
-	return &RNG{key: st.Key, s0: st.S0, s1: st.S1, s2: st.S2, s3: st.S3}
+	return &RNG{key: st.Key, s0: st.S0, s1: st.S1, s2: st.S2, s3: st.S3, flip: st.Flip}
 }
 
 // OnlineState is the serializable state of an Online accumulator, with

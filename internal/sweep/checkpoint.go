@@ -66,6 +66,15 @@ type CheckpointConfig struct {
 	// file, so silently continuing under a different file would attach
 	// the wrong artifact to the result.
 	GridDigest string `json:"gridDigest,omitempty"`
+	// Variance is the sweep's base variance-reduction mode — identity
+	// because it changes trial values. Omitted when unset, so
+	// pre-variance checkpoints keep loading.
+	Variance string `json:"variance,omitempty"`
+	// Deltas records whether the paired-delta aggregators ride this
+	// checkpoint — identity because resuming a -deltas sweep from a
+	// checkpoint without delta state (or vice versa) cannot reproduce
+	// the uninterrupted bytes. Omitted when false.
+	Deltas bool `json:"deltas,omitempty"`
 }
 
 // checkpointIdentity resolves a Config to its checkpoint identity,
@@ -92,6 +101,8 @@ func checkpointIdentity(cfg Config) CheckpointConfig {
 		ReservoirSize: resCap,
 		Scenarios:     scens,
 		GridDigest:    cfg.GridDigest,
+		Variance:      cfg.Variance,
+		Deltas:        cfg.Deltas,
 	}
 }
 
@@ -100,6 +111,7 @@ func (c CheckpointConfig) equal(o CheckpointConfig) bool {
 	if c.Trials != o.Trials || c.Seed != o.Seed || c.Scale != o.Scale ||
 		c.Findings != o.Findings || c.ReservoirSize != o.ReservoirSize ||
 		c.GridDigest != o.GridDigest ||
+		c.Variance != o.Variance || c.Deltas != o.Deltas ||
 		len(c.Scenarios) != len(o.Scenarios) {
 		return false
 	}
@@ -130,6 +142,10 @@ type CheckpointState struct {
 	NextJob   int                  `json:"nextJob"`
 	Failures  []TrialFailure       `json:"failures,omitempty"`
 	Scenarios []ScenarioCheckpoint `json:"scenarios"`
+	// Deltas carries the paired-delta aggregation state when the sweep
+	// runs with Config.Deltas (see deltas.go); omitted otherwise, so
+	// pre-delta checkpoints keep loading byte-compatibly.
+	Deltas *DeltasCheckpoint `json:"deltas,omitempty"`
 }
 
 // checkpointEnvelope is the on-disk frame: format tag, version, and a
@@ -256,12 +272,15 @@ func RecoverCheckpoint(path string) (*CheckpointState, string, error) {
 // Called only from the collector goroutine, which owns every
 // aggregator, so no synchronization is needed.
 func captureCheckpoint(ident CheckpointConfig, next int, failures []TrialFailure,
-	onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64) *CheckpointState {
+	onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64, deltas *deltaAgg) *CheckpointState {
 	st := &CheckpointState{
 		Config:    ident,
 		NextJob:   next,
 		Failures:  append([]TrialFailure(nil), failures...),
 		Scenarios: make([]ScenarioCheckpoint, len(onlines)),
+	}
+	if deltas != nil {
+		st.Deltas = deltas.state()
 	}
 	for si := range onlines {
 		sc := ScenarioCheckpoint{
@@ -283,7 +302,7 @@ func captureCheckpoint(ident CheckpointConfig, next int, failures []TrialFailure
 // rehydrates the collector's aggregators. The returned watermark is
 // the global job index aggregation resumes from.
 func restoreCheckpoint(st *CheckpointState, ident CheckpointConfig,
-	onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64) (next int, failures []TrialFailure, err error) {
+	onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64, deltas *deltaAgg) (next int, failures []TrialFailure, err error) {
 	// The scenario-file digest gets its own error: every other identity
 	// field appears in the generic message below, but a digest mismatch
 	// with otherwise-equal numbers means the scenario *file* changed —
@@ -329,6 +348,16 @@ func restoreCheckpoint(st *CheckpointState, ident CheckpointConfig,
 			}
 			reservoirs[si][mi] = r
 			points[si][mi] = math.Float64frombits(sc.Points[mi])
+		}
+	}
+	if deltas != nil {
+		// Identity equality above guarantees the checkpoint was taken
+		// with Deltas on, so the state must be present.
+		if st.Deltas == nil {
+			return 0, nil, fmt.Errorf("sweep: checkpoint claims delta aggregation but carries no delta state; restart the sweep")
+		}
+		if err := deltas.restore(st.Deltas); err != nil {
+			return 0, nil, err
 		}
 	}
 	return st.NextJob, append([]TrialFailure(nil), st.Failures...), nil

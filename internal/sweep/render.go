@@ -93,6 +93,11 @@ type Result struct {
 	// the sweep can be resumed from its checkpoint to completion.
 	Partial   bool              `json:"partial,omitempty"`
 	Scenarios []ScenarioSummary `json:"scenarios"`
+	// Deltas holds the CRN paired scenario-vs-baseline contrasts, one
+	// entry per non-baseline scenario, when the sweep ran with
+	// Config.Deltas (see deltas.go). Absent otherwise, so the canonical
+	// JSON of a plain sweep is unchanged.
+	Deltas []ScenarioDeltas `json:"deltas,omitempty"`
 	// Failures lists trials that panicked (in global trial order):
 	// recovered ones were deterministically re-executed and their
 	// values are in the aggregates; unrecovered ones contributed
@@ -101,10 +106,36 @@ type Result struct {
 	Failures []TrialFailure `json:"failures,omitempty"`
 }
 
+// DeltaSummary is one metric's paired scenario-minus-baseline contrast.
+type DeltaSummary struct {
+	// Name is the base metric name suffixed with "_delta".
+	Name string `json:"name"`
+	// N counts the trial pairs for which both sides were defined.
+	N int `json:"n"`
+	// Mean and StdDev summarize the per-trial differences.
+	Mean   Float `json:"mean"`
+	StdDev Float `json:"stddev"`
+	// CILo and CIHi bound the 95% Student-t CI for the mean difference —
+	// the paired CI whose half-width the CRN coupling shrinks.
+	CILo Float `json:"ci95lo"`
+	CIHi Float `json:"ci95hi"`
+	// Corr is the sample correlation between the scenario and baseline
+	// legs: near +1 means the common random numbers cancelled most of
+	// the noise.
+	Corr Float `json:"corr"`
+}
+
+// ScenarioDeltas is one non-baseline scenario's contrast block.
+type ScenarioDeltas struct {
+	Scenario string         `json:"scenario"`
+	Baseline string         `json:"baseline"`
+	Metrics  []DeltaSummary `json:"metrics"`
+}
+
 // summarize folds the collector's aggregators into a Result. watermark
 // is the completed-trial watermark (trials are aggregated strictly in
 // global order, so completion is always a contiguous prefix).
-func summarize(cfg Config, trials int, runs []scenarioRun, onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64, watermark int, failures []TrialFailure) *Result {
+func summarize(cfg Config, trials int, runs []scenarioRun, onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64, watermark int, failures []TrialFailure, deltas *deltaAgg) *Result {
 	res := &Result{Trials: trials, Seed: cfg.Seed, Scale: cfg.Scale,
 		Partial:  watermark < trials*len(runs),
 		Failures: failures}
@@ -137,6 +168,33 @@ func summarize(cfg Config, trials int, runs []scenarioRun, onlines [][]stats.Onl
 			})
 		}
 		res.Scenarios = append(res.Scenarios, ss)
+	}
+	if deltas != nil {
+		baseName := runs[deltas.bi].scen.Name
+		for si := range runs {
+			if si == deltas.bi {
+				continue
+			}
+			sd := ScenarioDeltas{
+				Scenario: runs[si].scen.Name,
+				Baseline: baseName,
+				Metrics:  make([]DeltaSummary, 0, len(Metrics)),
+			}
+			for mi, def := range Metrics {
+				p := &deltas.paired[si][mi]
+				ci := p.MeanCI(0.95)
+				sd.Metrics = append(sd.Metrics, DeltaSummary{
+					Name:   def.Name + "_delta",
+					N:      p.N(),
+					Mean:   Float(p.Mean()),
+					StdDev: Float(p.StdDev()),
+					CILo:   Float(ci.Lower),
+					CIHi:   Float(ci.Upper),
+					Corr:   Float(p.Corr()),
+				})
+			}
+			res.Deltas = append(res.Deltas, sd)
+		}
 	}
 	return res
 }
@@ -190,6 +248,9 @@ func (s Scenario) Describe(baseScale float64) string {
 	if s.SparseShelfFrac > 0 {
 		parts = append(parts, fmt.Sprintf("%g%% shelves half-populated", s.SparseShelfFrac*100))
 	}
+	if s.Variance != "" && s.Variance != VarianceNone {
+		parts = append(parts, s.Variance+" trials")
+	}
 	return s.Name + " (" + strings.Join(parts, ", ") + ")"
 }
 
@@ -236,6 +297,29 @@ func (r *Result) Render(w io.Writer) {
 		}
 		report.Table(w, headers, rows)
 	}
+	for _, sd := range r.Deltas {
+		fmt.Fprintf(w, "\n=== paired deltas: %s − %s (common random numbers) ===\n", sd.Scenario, sd.Baseline)
+		headers := []string{"Metric", "Mean Δ", "95% CI", "StdDev", "Corr", "Sig"}
+		var rows [][]string
+		for _, m := range sd.Metrics {
+			if m.N == 0 {
+				continue // no defined pair for this metric
+			}
+			sig := ""
+			if lo, hi := float64(m.CILo), float64(m.CIHi); !math.IsNaN(lo) && !math.IsNaN(hi) && (lo > 0 || hi < 0) {
+				sig = "*"
+			}
+			rows = append(rows, []string{
+				m.Name,
+				report.G(float64(m.Mean), 4),
+				fmt.Sprintf("[%s, %s]", report.G(float64(m.CILo), 4), report.G(float64(m.CIHi), 4)),
+				report.G(float64(m.StdDev), 3),
+				report.G(float64(m.Corr), 3),
+				sig,
+			})
+		}
+		report.Table(w, headers, rows)
+	}
 }
 
 // Check validates a sweep result against the canonical single-run
@@ -248,10 +332,8 @@ func (r *Result) Render(w io.Writer) {
 // deviations, with a small relative floor) and each mean CI to be
 // well-formed. cfg must be the Config the result was produced with.
 func (r *Result) Check(cfg Config) error {
-	scens := cfg.Scenarios
-	if len(scens) == 0 {
-		scens = Grids["default"]
-	}
+	ident := checkpointIdentity(cfg)
+	scens, trials := ident.Scenarios, ident.Trials
 	if len(scens) != len(r.Scenarios) {
 		return fmt.Errorf("sweep: check config has %d scenarios, result has %d", len(scens), len(r.Scenarios))
 	}
@@ -267,10 +349,13 @@ func (r *Result) Check(cfg Config) error {
 		}
 		run := newScenarioRun(scens[si], cfg)
 		f := run.buildFleet(cfg.Seed)
+		// Trial 0's variant must match the sweep's exactly: stratified
+		// mode changes even trial 0's baseline count draws.
+		simSeed, anti, strata := trialVariant(run.variance, cfg.Seed, 0, trials)
 		env := experiments.RunTrial(experiments.Config{
 			Scale: run.key.scale, Seed: cfg.Seed, Mine: run.scen.Mine, Params: run.params,
-			Workers: cfg.Workers,
-		}, f, trialSeed(cfg.Seed, 0), nil)
+			Workers: cfg.Workers, Antithetic: anti, Strata: strata,
+		}, f, simSeed, nil)
 		vals := trialVector(env, cfg.Findings, make([]float64, 0, len(Metrics)))
 		for _, m := range ss.Metrics {
 			want := vals[metricIndex(m.Name)]

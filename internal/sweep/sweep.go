@@ -23,9 +23,28 @@
 // rendering — are
 // byte-identical for every worker count. Trial 0 of every scenario
 // replays the canonical single-run seed derivation, so the sweep
-// always brackets the point estimate cmd/reproduce reports, and
-// scenarios share trial seeds (common random numbers), which reduces
-// the variance of scenario-to-scenario comparisons.
+// always brackets the point estimate cmd/reproduce reports.
+//
+// Common random numbers (CRN) — a load-bearing contract, not a habit:
+// trialSeed is a pure function of (sweep seed, trial index) and never
+// of the scenario, so trial t of every scenario runs on the *identical*
+// failure-history stream tree unless a gated knob (RepairLagSigma's
+// extra stream, a variance mode, the stratified count draw) explicitly
+// diverges it. TestCRNStreamIdentity pins this. The Deltas machinery
+// (deltas.go) builds directly on it: per-trial scenario-minus-baseline
+// differences cancel the shared Monte-Carlo noise, so paired-delta
+// confidence intervals are far tighter than differencing two
+// independent per-scenario CIs. Changing trialSeed to consume the
+// scenario — or un-gating a knob so default streams shift — silently
+// destroys that cancellation; treat both as breaking changes.
+//
+// Variance reduction beyond CRN is opt-in via the `variance` knob
+// ("none"|"antithetic"|"stratified", per sweep or per scenario):
+// antithetic pairs trial 2k/2k+1 on mirrored uniforms
+// (stats.RNG.Antithetic), stratified spreads each slot's baseline
+// Poisson count draw over a Latin-hypercube stratification of [0,1)
+// (sim.Strata). Both are gated: with the knob unset every stream,
+// golden byte, and committed report is unchanged.
 package sweep
 
 import (
@@ -38,6 +57,7 @@ import (
 
 	"storagesubsys/internal/failmodel"
 	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sim"
 	"storagesubsys/internal/stats"
 )
 
@@ -100,6 +120,12 @@ type Scenario struct {
 	// mean disk population — a heterogeneous shelf-size mix
 	// (0 = uniform default).
 	SparseShelfFrac float64 `json:"sparseShelfFrac,omitempty"`
+	// Variance selects the scenario's variance-reduction mode:
+	// "antithetic" pairs trial 2k/2k+1 on mirrored RNG streams,
+	// "stratified" stratifies each slot's baseline Poisson failure count
+	// across the sweep's trials, "none" forces the plain engine.
+	// Empty inherits the sweep's base mode (Config.Variance).
+	Variance string `json:"variance,omitempty"`
 }
 
 // params materializes the scenario's failure-model overrides, or nil
@@ -138,6 +164,35 @@ func (s Scenario) EffScale(base float64) float64 {
 	return base
 }
 
+// Variance-reduction modes accepted by Config.Variance and
+// Scenario.Variance. The empty string inherits (scenario) or means
+// plain (config).
+const (
+	VarianceNone       = "none"
+	VarianceAntithetic = "antithetic"
+	VarianceStratified = "stratified"
+)
+
+// ValidVariance reports whether mode is an accepted variance knob
+// value (the empty string included).
+func ValidVariance(mode string) bool {
+	switch mode {
+	case "", VarianceNone, VarianceAntithetic, VarianceStratified:
+		return true
+	}
+	return false
+}
+
+// EffVariance resolves the scenario's variance mode against the
+// sweep's base mode: a non-empty scenario value wins (including the
+// explicit "none" opt-out), empty inherits.
+func (s Scenario) EffVariance(base string) string {
+	if s.Variance != "" {
+		return s.Variance
+	}
+	return base
+}
+
 // Config controls a sweep run. The whole sweep — every trial, every
 // summary, the JSON bytes — is a pure function of this value
 // (Workers excepted, which only affects wall-clock).
@@ -169,6 +224,17 @@ type Config struct {
 	// ReservoirSize caps the per-metric quantile sample (0 = 512).
 	// Quantiles are exact while Trials fits in the reservoir.
 	ReservoirSize int
+	// Variance is the base variance-reduction mode applied to every
+	// scenario that does not set its own ("" or "none" = the plain
+	// engine; see ValidVariance). Identity-bearing: it changes trial
+	// values, so it participates in checkpoint identity.
+	Variance string
+	// Deltas additionally aggregates CRN paired deltas — per-trial
+	// scenario-minus-baseline metric differences — into the Result's
+	// Deltas section (see deltas.go). Identity-bearing only for the
+	// checkpoint (the delta aggregators ride the checkpoint envelope);
+	// it never changes any per-scenario summary byte.
+	Deltas bool
 
 	// CheckpointPath, when non-empty, periodically persists the
 	// collector's aggregation state (see checkpoint.go) so a crashed or
@@ -243,6 +309,31 @@ func trialSeed(seed int64, trial int) int64 {
 	return int64(c.Uint64())
 }
 
+// trialVariant resolves one trial's execution variant under a variance
+// mode: the failure-history seed plus the sim-level options. Like
+// trialSeed it is a pure function of its arguments — the retry and
+// resume machinery re-derive variants freely — and with the mode unset
+// (or "none") it degenerates to exactly (trialSeed(seed, trial),
+// plain), so existing sweeps are untouched.
+//
+//   - antithetic: trials 2k and 2k+1 share trial 2k's seed; the odd
+//     trial runs on the mirrored RNG root. An odd trial count leaves
+//     the final trial an unpaired plain trial.
+//   - stratified: every trial keeps its own seed but draws baseline
+//     Poisson counts from stratum `trial` of `trials`, with the
+//     trial-independent permutation keyed by the sweep seed.
+func trialVariant(mode string, seed int64, trial, trials int) (simSeed int64, antithetic bool, strata sim.Strata) {
+	switch mode {
+	case VarianceAntithetic:
+		if trial%2 == 1 {
+			return trialSeed(seed, trial-1), true, sim.Strata{}
+		}
+	case VarianceStratified:
+		return trialSeed(seed, trial), false, sim.Strata{Index: trial, Count: trials, Seed: seed}
+	}
+	return trialSeed(seed, trial), false, sim.Strata{}
+}
+
 // fleetKey is the subset of a resolved scenario that determines its
 // fleet topology. Workers compare keys to decide whether a scenario
 // boundary needs a rebuild or just a Reset of the cached fleet; two
@@ -259,9 +350,10 @@ type fleetKey struct {
 // scenarioRun is a scenario resolved against the sweep config, shared
 // read-only by the workers.
 type scenarioRun struct {
-	scen   Scenario
-	key    fleetKey
-	params *failmodel.Params
+	scen     Scenario
+	key      fleetKey
+	params   *failmodel.Params
+	variance string // resolved variance mode (EffVariance)
 }
 
 // newScenarioRun resolves a scenario against the sweep config — the
@@ -277,7 +369,8 @@ func newScenarioRun(s Scenario, cfg Config) scenarioRun {
 			churn:  s.ChurnMult,
 			sparse: s.SparseShelfFrac,
 		},
-		params: s.params(),
+		params:   s.params(),
+		variance: s.EffVariance(cfg.Variance),
 	}
 }
 
@@ -376,11 +469,19 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 		}
 	}
 
+	// CRN paired-delta aggregators (deltas.go): fed by the same ordered
+	// collector, so the Deltas section inherits the worker-count byte
+	// determinism and checkpoint/resume contracts for free.
+	var deltas *deltaAgg
+	if cfg.Deltas {
+		deltas = newDeltaAgg(scens, trials, nMet)
+	}
+
 	startJob := 0
 	var failures []TrialFailure
 	if resume != nil {
 		var err error
-		startJob, failures, err = restoreCheckpoint(resume, ident, onlines, reservoirs, points)
+		startJob, failures, err = restoreCheckpoint(resume, ident, onlines, reservoirs, points, deltas)
 		if err != nil {
 			return nil, err
 		}
@@ -479,7 +580,7 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 			ord := ckptOrdinal
 			wrap = func(w io.Writer) io.Writer { return cfg.Hooks.CheckpointWriter(ord, w) }
 		}
-		st := captureCheckpoint(ident, next, failures, onlines, reservoirs, points)
+		st := captureCheckpoint(ident, next, failures, onlines, reservoirs, points, deltas)
 		return st.Save(cfg.CheckpointPath, wrap)
 	}
 	every := cfg.CheckpointEvery
@@ -501,6 +602,11 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 			}
 			onlines[si][mi].Push(v)
 			reservoirs[si][mi].Push(v)
+		}
+		if deltas != nil {
+			// o.vals is a fresh per-trial slice (never recycled), so the
+			// aggregator may retain baseline rows by reference.
+			deltas.absorb(si, ti, o.vals)
 		}
 		if ti == trials-1 && progress != nil {
 			progress(runs[si].scen, trials)
@@ -538,5 +644,5 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 	if err := saveCheckpoint(); err != nil {
 		return nil, err
 	}
-	return summarize(cfg, trials, runs, onlines, reservoirs, points, next, failures), nil
+	return summarize(cfg, trials, runs, onlines, reservoirs, points, next, failures, deltas), nil
 }
