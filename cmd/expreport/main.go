@@ -35,8 +35,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"storagesubsys/internal/expreport"
@@ -45,38 +47,57 @@ import (
 )
 
 func main() {
-	canon := expreport.CanonicalConfig()
-	out := flag.String("o", "", "output file (default stdout)")
-	in := flag.String("in", "", "join an existing cmd/sweep -json result instead of running the sweep (combine with -grid-file to also judge that file's assertion bands)")
-	trials := flag.Int("trials", canon.Trials, "Monte-Carlo trials per scenario")
-	scale := flag.Float64("scale", canon.Scale, "base population scale")
-	seed := flag.Int64("seed", canon.Seed, "sweep seed")
-	grid := flag.String("grid", "ops", "built-in scenario grid name (see cmd/sweep)")
-	gridFile := flag.String("grid-file", "", "declarative scenario file: grid, run parameters, and assertion bands to judge (see SCENARIOS.md)")
-	workers := flag.Int("workers", 0, "trial worker goroutines (0 = one per CPU; output is identical for every count)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() > 0 {
-		fatal(fmt.Errorf("unexpected argument %q (expreport takes flags only; see -h)", flag.Arg(0)))
+// run is main minus the process globals, for table-driven tests of
+// flag validation and whole tiny report runs. Exit codes: 0 success
+// (including -h), 2 flag-parse errors, 1 everything else — expreport's
+// long-standing "fatal is always 1" convention for semantic errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	canon := expreport.CanonicalConfig()
+	flags := flag.NewFlagSet("expreport", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	out := flags.String("o", "", "output file (default stdout)")
+	in := flags.String("in", "", "join an existing cmd/sweep -json result instead of running the sweep (combine with -grid-file to also judge that file's assertion bands)")
+	trials := flags.Int("trials", canon.Trials, "Monte-Carlo trials per scenario")
+	scale := flags.Float64("scale", canon.Scale, "base population scale")
+	seed := flags.Int64("seed", canon.Seed, "sweep seed")
+	grid := flags.String("grid", "ops", "built-in scenario grid name (see cmd/sweep)")
+	gridFile := flags.String("grid-file", "", "declarative scenario file: grid, run parameters, and assertion bands to judge (see SCENARIOS.md)")
+	workers := flags.Int("workers", 0, "trial worker goroutines (0 = one per CPU; output is identical for every count)")
+	if err := flags.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "expreport:", err)
+		return 1
+	}
+
+	if flags.NArg() > 0 {
+		return fail(fmt.Errorf("unexpected argument %q (expreport takes flags only; see -h)", flags.Arg(0)))
 	}
 	if *trials < 1 {
-		fatal(fmt.Errorf("-trials must be at least 1"))
+		return fail(fmt.Errorf("-trials must be at least 1"))
 	}
 	if *scale <= 0 || *scale > 1.5 {
-		fatal(fmt.Errorf("-scale must be in (0, 1.5]"))
+		return fail(fmt.Errorf("-scale must be in (0, 1.5]"))
 	}
 
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	flags.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["grid"] && set["grid-file"] {
-		fatal(fmt.Errorf("-grid and -grid-file are mutually exclusive (one grid per sweep)"))
+		return fail(fmt.Errorf("-grid and -grid-file are mutually exclusive (one grid per sweep)"))
 	}
 
 	var spec *scenario.Spec
 	if *gridFile != "" {
 		s, err := scenario.Load(*gridFile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		spec = s
 	}
@@ -89,12 +110,20 @@ func main() {
 		// -grid-file is the exception: with -in it only contributes its
 		// assertion bands, which join any result.
 		conflicting := map[string]bool{"trials": true, "scale": true, "seed": true, "grid": true, "workers": true}
-		flag.Visit(func(f *flag.Flag) {
-			if conflicting[f.Name] {
-				fatal(fmt.Errorf("-%s conflicts with -in: the report renders the configuration recorded in %s", f.Name, *in))
+		var conflict error
+		flags.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] && conflict == nil {
+				conflict = fmt.Errorf("-%s conflicts with -in: the report renders the configuration recorded in %s", f.Name, *in)
 			}
 		})
-		res = loadResult(*in)
+		if conflict != nil {
+			return fail(conflict)
+		}
+		r, err := loadResult(*in)
+		if err != nil {
+			return fail(err)
+		}
+		res = r
 	} else {
 		// Deltas are always accumulated here: the report's CRN contrast
 		// tables need them, and they never change the summary numbers.
@@ -121,72 +150,73 @@ func main() {
 		} else {
 			scens, err := sweep.LoadGrid(*grid)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			cfg.Scenarios = scens
 		}
 		if cfg.Trials < 1 {
-			fatal(fmt.Errorf("trial count %d must be at least 1 (scenario file and -trials combined)", cfg.Trials))
+			return fail(fmt.Errorf("trial count %d must be at least 1 (scenario file and -trials combined)", cfg.Trials))
 		}
 		if cfg.Scale <= 0 || cfg.Scale > 1.5 {
-			fatal(fmt.Errorf("base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale))
+			return fail(fmt.Errorf("base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale))
 		}
-		fmt.Fprintf(os.Stderr, "expreport: sweeping %d scenarios x %d trials at scale %.2f (seed %d)\n",
+		fmt.Fprintf(stderr, "expreport: sweeping %d scenarios x %d trials at scale %.2f (seed %d)\n",
 			len(cfg.Scenarios), cfg.Trials, cfg.Scale, cfg.Seed)
 		res = sweep.RunProgress(cfg, func(s sweep.Scenario, done int) {
-			fmt.Fprintf(os.Stderr, "expreport: scenario %q complete (%d trials)\n", s.Name, done)
+			fmt.Fprintf(stderr, "expreport: scenario %q complete (%d trials)\n", s.Name, done)
 		})
 	}
 
-	w := os.Stdout
+	w := stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
 		w = f
 	}
 	if err := expreport.RenderSpec(w, res, spec); err != nil {
-		fatal(err)
+		if f != nil {
+			f.Close()
+		}
+		return fail(err)
 	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
 }
 
 // loadResult parses a cmd/sweep -json file strictly: unknown fields,
 // truncation, and structurally empty results all produce a one-line
 // actionable error instead of a silent zero-value report.
-func loadResult(path string) *sweep.Result {
+func loadResult(path string) (*sweep.Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	res := &sweep.Result{}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(res); err != nil {
-		fatal(fmt.Errorf("parsing %s: %v (is it a cmd/sweep -json result? it may be truncated or a different file)", path, err))
+		return nil, fmt.Errorf("parsing %s: %v (is it a cmd/sweep -json result? it may be truncated or a different file)", path, err)
 	}
 	// A second document after the result means the file is not a single
 	// sweep JSON object (e.g. concatenated logs).
 	if dec.More() {
-		fatal(fmt.Errorf("parsing %s: trailing data after the result object", path))
+		return nil, fmt.Errorf("parsing %s: trailing data after the result object", path)
 	}
 	if res.Trials < 1 || len(res.Scenarios) == 0 {
-		fatal(fmt.Errorf("%s holds no sweep data (%d trials, %d scenarios); was the sweep run with -json?", path, res.Trials, len(res.Scenarios)))
+		return nil, fmt.Errorf("%s holds no sweep data (%d trials, %d scenarios); was the sweep run with -json?", path, res.Trials, len(res.Scenarios))
 	}
 	for _, ss := range res.Scenarios {
 		if ss.Scenario.Name == "" {
-			fatal(fmt.Errorf("%s has a scenario without a name; the file is damaged or not a sweep result", path))
+			return nil, fmt.Errorf("%s has a scenario without a name; the file is damaged or not a sweep result", path)
 		}
 	}
-	return res
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "expreport:", err)
-	os.Exit(1)
+	return res, nil
 }

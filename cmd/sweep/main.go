@@ -73,6 +73,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"strings"
@@ -82,61 +83,83 @@ import (
 )
 
 func main() {
-	trials := flag.Int("trials", 20, "Monte-Carlo trials per scenario")
-	grid := flag.String("grid", "default", "built-in scenario grid: "+strings.Join(sweep.GridNames(), ", ")+" (file-defined grids use -grid-file)")
-	gridFile := flag.String("grid-file", "", "declarative scenario file (validated JSON; see SCENARIOS.md and examples/scenarios/)")
-	scale := flag.Float64("scale", 0.25, "base population scale relative to the paper's 39,000 systems (scenarios may override)")
-	seed := flag.Int64("seed", 42, "sweep seed; fully determines every fleet and trial")
-	workers := flag.Int("workers", 0, "trial worker goroutines (0 = one per CPU; every count yields byte-identical output)")
-	findings := flag.Bool("findings", false, "also evaluate the paper's Findings 1-11 per trial (roughly doubles analysis cost)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
-	check := flag.Bool("check", false, "self-check: rerun each scenario's trial 0 from scratch and require bit-identical metrics inside the sweep spread")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file: periodically persist aggregation state for -resume")
-	every := flag.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = 64; requires -checkpoint)")
-	resume := flag.Bool("resume", false, "resume from the -checkpoint file (falls back to <path>.prev if the primary is corrupt)")
-	budget := flag.Int("budget", 0, "stop gracefully after this many trials in global order (0 = no budget; result marked partial, resumable)")
-	maxWall := flag.Duration("max-wall", 0, "wall-clock budget, e.g. 30m (0 = none; result marked partial, resumable)")
-	retries := flag.Int("retries", 0, "per-trial retries after a panic (0 = default 2; negative disables)")
-	variance := flag.String("variance", "", "variance-reduction mode: none, antithetic (pairs trials 2k/2k+1 on mirrored streams; needs an even -trials), or stratified (Latin-hypercube baseline arrival counts); scenarios may override")
-	deltas := flag.Bool("deltas", false, "accumulate CRN paired deltas of every non-baseline scenario against the baseline (adds a deltas section to tables and JSON)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() > 0 {
-		if flag.Arg(0) == "validate" {
-			os.Exit(runValidate(flag.Args()[1:]))
+// run is main minus the process globals: flags parse from args on a
+// local FlagSet, output and progress go to the given writers, and the
+// exit code is returned instead of passed to os.Exit — so tests can
+// table-drive flag validation, the validate subcommand, and whole tiny
+// sweeps in-process. Exit codes: 0 success (including -h), 2 usage
+// errors (and invalid validate usage), 1 runtime failures (and, for
+// the validate subcommand, invalid scenario files).
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	trials := flags.Int("trials", 20, "Monte-Carlo trials per scenario")
+	grid := flags.String("grid", "default", "built-in scenario grid: "+strings.Join(sweep.GridNames(), ", ")+" (file-defined grids use -grid-file)")
+	gridFile := flags.String("grid-file", "", "declarative scenario file (validated JSON; see SCENARIOS.md and examples/scenarios/)")
+	scale := flags.Float64("scale", 0.25, "base population scale relative to the paper's 39,000 systems (scenarios may override)")
+	seed := flags.Int64("seed", 42, "sweep seed; fully determines every fleet and trial")
+	workers := flags.Int("workers", 0, "trial worker goroutines (0 = one per CPU; every count yields byte-identical output)")
+	findings := flags.Bool("findings", false, "also evaluate the paper's Findings 1-11 per trial (roughly doubles analysis cost)")
+	jsonOut := flags.Bool("json", false, "emit machine-readable JSON instead of tables")
+	check := flags.Bool("check", false, "self-check: rerun each scenario's trial 0 from scratch and require bit-identical metrics inside the sweep spread")
+	checkpoint := flags.String("checkpoint", "", "checkpoint file: periodically persist aggregation state for -resume")
+	every := flags.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = 64; requires -checkpoint)")
+	resume := flags.Bool("resume", false, "resume from the -checkpoint file (falls back to <path>.prev if the primary is corrupt)")
+	budget := flags.Int("budget", 0, "stop gracefully after this many trials in global order (0 = no budget; result marked partial, resumable)")
+	maxWall := flags.Duration("max-wall", 0, "wall-clock budget, e.g. 30m (0 = none; result marked partial, resumable)")
+	retries := flags.Int("retries", 0, "per-trial retries after a panic (0 = default 2; negative disables)")
+	variance := flags.String("variance", "", "variance-reduction mode: none, antithetic (pairs trials 2k/2k+1 on mirrored streams; needs an even -trials), or stratified (Latin-hypercube baseline arrival counts); scenarios may override")
+	deltas := flags.Bool("deltas", false, "accumulate CRN paired deltas of every non-baseline scenario against the baseline (adds a deltas section to tables and JSON)")
+	if err := flags.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
 		}
-		fatalf(2, "unexpected argument %q (sweep takes flags, or the \"validate\" subcommand; see -h)", flag.Arg(0))
+		return 2
+	}
+	fail := func(code int, format string, a ...any) int {
+		fmt.Fprintf(stderr, "sweep: "+format+"\n", a...)
+		return code
+	}
+
+	if flags.NArg() > 0 {
+		if flags.Arg(0) == "validate" {
+			return runValidate(flags.Args()[1:], stdout, stderr)
+		}
+		return fail(2, "unexpected argument %q (sweep takes flags, or the \"validate\" subcommand; see -h)", flags.Arg(0))
 	}
 	if *trials < 1 {
-		fatalf(2, "-trials must be at least 1")
+		return fail(2, "-trials must be at least 1")
 	}
 	if *scale <= 0 || *scale > 1.5 {
-		fatalf(2, "-scale must be in (0, 1.5]")
+		return fail(2, "-scale must be in (0, 1.5]")
 	}
 	if *budget < 0 {
-		fatalf(2, "-budget must be >= 0")
+		return fail(2, "-budget must be >= 0")
 	}
 	if *maxWall < 0 {
-		fatalf(2, "-max-wall must be >= 0")
+		return fail(2, "-max-wall must be >= 0")
 	}
 	if *every < 0 {
-		fatalf(2, "-checkpoint-every must be >= 0")
+		return fail(2, "-checkpoint-every must be >= 0")
 	}
 	if !sweep.ValidVariance(*variance) {
-		fatalf(2, "-variance is %q, must be none, antithetic or stratified", *variance)
+		return fail(2, "-variance is %q, must be none, antithetic or stratified", *variance)
 	}
 	if *checkpoint == "" {
 		if *resume {
-			fatalf(2, "-resume requires -checkpoint to name the file to resume from")
+			return fail(2, "-resume requires -checkpoint to name the file to resume from")
 		}
 		if *every > 0 {
-			fatalf(2, "-checkpoint-every requires -checkpoint")
+			return fail(2, "-checkpoint-every requires -checkpoint")
 		}
 	}
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	flags.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["grid"] && set["grid-file"] {
-		fatalf(2, "-grid and -grid-file are mutually exclusive (one grid per sweep)")
+		return fail(2, "-grid and -grid-file are mutually exclusive (one grid per sweep)")
 	}
 
 	cfg := sweep.Config{
@@ -156,8 +179,8 @@ func main() {
 	if *gridFile != "" {
 		spec, err := scenario.Load(*gridFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		// Spec run parameters apply where the flag was not explicitly
 		// set: explicit flag > scenario file > default.
@@ -184,21 +207,21 @@ func main() {
 		scens, err := sweep.LoadGrid(*grid)
 		if err != nil {
 			// LoadGrid errors already carry the "sweep:" prefix.
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		cfg.Scenarios = scens
 	}
 	if cfg.Trials < 1 {
-		fatalf(2, "trial count %d must be at least 1 (scenario file and -trials combined)", cfg.Trials)
+		return fail(2, "trial count %d must be at least 1 (scenario file and -trials combined)", cfg.Trials)
 	}
 	if cfg.Scale <= 0 || cfg.Scale > 1.5 {
-		fatalf(2, "base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale)
+		return fail(2, "base scale %g must be in (0, 1.5] (scenario file and -scale combined)", cfg.Scale)
 	}
 	if cfg.Trials%2 != 0 {
 		for _, s := range cfg.Scenarios {
 			if s.EffVariance(cfg.Variance) == sweep.VarianceAntithetic {
-				fatalf(2, "antithetic pairing needs an even trial count, got %d (scenario %q resolves to variance antithetic)", cfg.Trials, s.Name)
+				return fail(2, "antithetic pairing needs an even trial count, got %d (scenario %q resolves to variance antithetic)", cfg.Trials, s.Name)
 			}
 		}
 	}
@@ -210,74 +233,71 @@ func main() {
 		st, src, err = sweep.RecoverCheckpoint(*checkpoint)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
-				fatalf(2, "-resume: no checkpoint at %s (run with -checkpoint first, or drop -resume to start fresh)", *checkpoint)
+				return fail(2, "-resume: no checkpoint at %s (run with -checkpoint first, or drop -resume to start fresh)", *checkpoint)
 			}
-			fatalf(2, "-resume: %v", err)
+			return fail(2, "-resume: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: resuming from %s at trial %d of %d\n",
+		fmt.Fprintf(stderr, "sweep: resuming from %s at trial %d of %d\n",
 			src, st.NextJob, len(cfg.Scenarios)*cfg.Trials)
 	}
 
-	fmt.Fprintf(os.Stderr, "sweep: %d scenarios x %d trials at base scale %.2f (seed %d)\n",
+	fmt.Fprintf(stderr, "sweep: %d scenarios x %d trials at base scale %.2f (seed %d)\n",
 		len(cfg.Scenarios), cfg.Trials, cfg.Scale, cfg.Seed)
 	res, err := sweep.Execute(cfg, st, func(s sweep.Scenario, done int) {
-		fmt.Fprintf(os.Stderr, "sweep: scenario %q complete (%d trials)\n", s.Name, done)
+		fmt.Fprintf(stderr, "sweep: scenario %q complete (%d trials)\n", s.Name, done)
 	})
 	if err != nil {
-		fatalf(1, "%v", err)
+		return fail(1, "%v", err)
 	}
 	if res.Partial {
-		fmt.Fprintln(os.Stderr, "sweep: PARTIAL result (budget or deadline); resume with -resume to complete")
+		fmt.Fprintln(stderr, "sweep: PARTIAL result (budget or deadline); resume with -resume to complete")
 	}
 	for _, f := range res.Failures {
 		if f.Recovered {
-			fmt.Fprintf(os.Stderr, "sweep: WARNING: scenario %q trial %d panicked and was retried successfully (%d attempts): %s\n",
+			fmt.Fprintf(stderr, "sweep: WARNING: scenario %q trial %d panicked and was retried successfully (%d attempts): %s\n",
 				f.Scenario, f.Trial, f.Attempts, f.Panic)
 		} else {
-			fmt.Fprintf(os.Stderr, "sweep: WARNING: scenario %q trial %d failed permanently after %d attempts: %s\n",
+			fmt.Fprintf(stderr, "sweep: WARNING: scenario %q trial %d failed permanently after %d attempts: %s\n",
 				f.Scenario, f.Trial, f.Attempts, f.Panic)
 		}
 	}
 
 	if *jsonOut {
-		if err := res.WriteJSON(os.Stdout); err != nil {
-			fatalf(1, "writing JSON: %v", err)
+		if err := res.WriteJSON(stdout); err != nil {
+			return fail(1, "writing JSON: %v", err)
 		}
 	} else {
-		res.Render(os.Stdout)
+		res.Render(stdout)
 	}
 
 	if *check {
 		if err := res.Check(cfg); err != nil {
-			fatalf(1, "self-check FAILED: %v", err)
+			return fail(1, "self-check FAILED: %v", err)
 		}
-		fmt.Fprintln(os.Stderr, "sweep: self-check passed: single-seed reruns match trial 0 bit-for-bit and fall inside the sweep spread")
+		fmt.Fprintln(stderr, "sweep: self-check passed: single-seed reruns match trial 0 bit-for-bit and fall inside the sweep spread")
 	}
+	return 0
 }
 
 // runValidate implements "sweep validate scenario.json...": parse and
 // validate each named scenario file without running anything. One line
-// per file; any failure makes the exit code 1.
-func runValidate(paths []string) int {
+// per file on stdout; any failure makes the exit code 1 (2 when no
+// file was named at all).
+func runValidate(paths []string, stdout, stderr io.Writer) int {
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "sweep: validate needs at least one scenario file (usage: sweep validate scenario.json...)")
+		fmt.Fprintln(stderr, "sweep: validate needs at least one scenario file (usage: sweep validate scenario.json...)")
 		return 2
 	}
 	code := 0
 	for _, path := range paths {
 		spec, err := scenario.Load(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			code = 1
 			continue
 		}
-		fmt.Printf("sweep: %s: OK — %q, %d scenarios, %d assertions, digest %s\n",
+		fmt.Fprintf(stdout, "sweep: %s: OK — %q, %d scenarios, %d assertions, digest %s\n",
 			path, spec.Name, len(spec.Scenarios), len(spec.Assertions), spec.Digest()[:12])
 	}
 	return code
-}
-
-func fatalf(code int, format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
-	os.Exit(code)
 }

@@ -1,0 +1,63 @@
+// Smoke tests for the committed example programs: every example under
+// examples/ must build and run headlessly to completion. Examples are
+// documentation that executes; this keeps them from rotting as the
+// libraries they demonstrate evolve.
+package storagesubsys_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// examplePrograms returns the example main packages (directories under
+// examples/ containing Go files), discovered rather than listed so a
+// new example is covered the day it lands.
+func examplePrograms(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	var progs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		gofiles, err := filepath.Glob(filepath.Join("examples", e.Name(), "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gofiles) > 0 {
+			progs = append(progs, e.Name())
+		}
+	}
+	if len(progs) < 4 {
+		t.Fatalf("discovered only %d example programs (%v); expected at least the committed four", len(progs), progs)
+	}
+	return progs
+}
+
+func TestExamplesRunHeadlessly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs example binaries")
+	}
+	for _, name := range examplePrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			// Every example narrates what it demonstrates; a silent run
+			// means it no longer does anything.
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -37,6 +37,7 @@ func detmapAnalyzer() *Analyzer {
 			Module+"/internal/expreport",
 			Module+"/internal/report",
 			Module+"/internal/experiments",
+			Module+"/internal/sweepd",
 		),
 		Run: runDetmap,
 	}

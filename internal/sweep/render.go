@@ -199,6 +199,17 @@ func summarize(cfg Config, trials int, runs []scenarioRun, onlines [][]stats.Onl
 	return res
 }
 
+// TrialsDone sums the per-scenario completed-trial counts: the global
+// watermark the result's aggregates cover. Equal to Trials times the
+// scenario count on a complete run, smaller on a Partial one.
+func (r *Result) TrialsDone() int {
+	done := 0
+	for _, ss := range r.Scenarios {
+		done += ss.TrialsDone
+	}
+	return done
+}
+
 // WriteJSON emits the machine-readable result. Same config ⇒ same
 // bytes, for any worker count (the determinism contract cmd/sweep
 // -json relies on and CI byte-compares).
@@ -353,7 +364,7 @@ func (r *Result) Check(cfg Config) error {
 		// mode changes even trial 0's baseline count draws.
 		simSeed, anti, strata := trialVariant(run.variance, cfg.Seed, 0, trials)
 		env := experiments.RunTrial(experiments.Config{
-			Scale: run.key.scale, Seed: cfg.Seed, Mine: run.scen.Mine, Params: run.params,
+			Scale: run.key.Scale, Seed: cfg.Seed, Mine: run.scen.Mine, Params: run.params,
 			Workers: cfg.Workers, Antithetic: anti, Strata: strata,
 		}, f, simSeed, nil)
 		vals := trialVector(env, cfg.Findings, make([]float64, 0, len(Metrics)))

@@ -82,7 +82,7 @@ type trialWorker struct {
 
 	f       *fleet.Fleet
 	cp      fleet.Checkpoint
-	haveKey fleetKey
+	haveKey FleetKey
 	valid   bool
 	scratch *sim.Scratch
 }
@@ -113,7 +113,16 @@ func (w *trialWorker) attempt(r *scenarioRun, job, att int) (vals []float64, pan
 		w.hooks.BeforeTrialAttempt(r.scen.Name, job%w.trials, att)
 	}
 	if !w.valid || r.key != w.haveKey {
-		w.f = r.buildFleet(w.cfg.Seed)
+		// The FleetSource seam (sweepd's cross-job cache) substitutes
+		// for the direct build; its contract — an exclusively owned
+		// fleet indistinguishable from build()'s output — is what keeps
+		// the trial values byte-identical either way.
+		if w.cfg.FleetSource != nil {
+			key, seed := r.key, w.cfg.Seed
+			w.f = w.cfg.FleetSource(key, seed, func() *fleet.Fleet { return BuildFleet(key, seed) })
+		} else {
+			w.f = r.buildFleet(w.cfg.Seed)
+		}
 		w.cp = w.f.Checkpoint()
 		w.haveKey = r.key
 		w.valid = true
@@ -122,7 +131,7 @@ func (w *trialWorker) attempt(r *scenarioRun, job, att int) (vals []float64, pan
 	}
 	simSeed, anti, strata := trialVariant(r.variance, w.cfg.Seed, job%w.trials, w.trials)
 	env := experiments.RunTrial(experiments.Config{
-		Scale:      r.key.scale,
+		Scale:      r.key.Scale,
 		Seed:       w.cfg.Seed,
 		Mine:       r.scen.Mine,
 		Params:     r.params,

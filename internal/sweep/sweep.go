@@ -262,6 +262,41 @@ type Config struct {
 	MaxWall time.Duration
 	// Hooks are the fault-injection seams (nil in production runs).
 	Hooks *Hooks
+
+	// The three fields below are the control-plane seams the sweepd
+	// server drives. Like Workers and the budgets they are
+	// identity-free: none of them may change any aggregated value, so
+	// checkpoints ignore them and resuming under different values is
+	// always legal.
+
+	// Interrupt, when non-nil, is polled by every worker between
+	// trials; once it returns true the sweep drains exactly like an
+	// expired MaxWall deadline — workers stop picking up trials, the
+	// aggregated prefix is summarized into a Partial Result, and a
+	// final checkpoint is written — so a cancellation flows through the
+	// same graceful-stop path as a wall-clock budget. Must be safe for
+	// concurrent use; once it has returned true it must keep returning
+	// true.
+	Interrupt func() bool
+	// OnCheckpoint, when non-nil, receives every checkpoint state the
+	// collector captures — the periodic CheckpointEvery-cadence
+	// snapshots and the final one on graceful exit — from the collector
+	// goroutine. The state is a deep copy the callee owns; watermarks
+	// across successive calls are non-decreasing. Setting OnCheckpoint
+	// without CheckpointPath enables the periodic capture cadence
+	// without writing any file — the in-memory partial-results feed
+	// behind sweepd's status endpoint (CheckpointState.PartialResult).
+	OnCheckpoint func(*CheckpointState)
+	// FleetSource, when non-nil, replaces the trial workers' direct
+	// fleet construction at scenario boundaries: it receives the
+	// topology key, the sweep seed, and the canonical build function,
+	// and must return a fleet indistinguishable from build()'s output
+	// that the calling worker exclusively owns — e.g. a fleet.Clone of
+	// a cached pristine build, which is how sweepd's cross-job cache
+	// makes concurrent sweeps over one topology pay for one build.
+	// Returning a shared or stale fleet breaks the byte-identity
+	// contract. Must be safe for concurrent use.
+	FleetSource func(key FleetKey, seed int64, build func() *fleet.Fleet) *fleet.Fleet
 }
 
 // ErrKilled is returned by Execute when Hooks.KillAfterJob simulates
@@ -334,24 +369,40 @@ func trialVariant(mode string, seed int64, trial, trials int) (simSeed int64, an
 	return trialSeed(seed, trial), false, sim.Strata{}
 }
 
-// fleetKey is the subset of a resolved scenario that determines its
+// FleetKey is the subset of a resolved scenario that determines its
 // fleet topology. Workers compare keys to decide whether a scenario
 // boundary needs a rebuild or just a Reset of the cached fleet; two
 // scenarios differing only in failure-model overrides share one
-// population.
-type fleetKey struct {
-	scale  float64
-	span   int
-	skew   float64
-	churn  float64
-	sparse float64
+// population. Together with the sweep seed it fully identifies a
+// built fleet, which is why Config.FleetSource (the sweepd control
+// plane's cross-job fleet cache) is keyed by (FleetKey, seed).
+type FleetKey struct {
+	Scale  float64
+	Span   int
+	Skew   float64
+	Churn  float64
+	Sparse float64
+}
+
+// FleetKeyIn resolves the scenario's topology identity against the
+// sweep's base scale — the exported form of the key the trial workers
+// compare, for callers (the sweepd fleet cache, tests) that need to
+// predict which scenarios share a population.
+func (s Scenario) FleetKeyIn(baseScale float64) FleetKey {
+	return FleetKey{
+		Scale:  s.EffScale(baseScale),
+		Span:   s.SpanShelves,
+		Skew:   s.InstallSkew,
+		Churn:  s.ChurnMult,
+		Sparse: s.SparseShelfFrac,
+	}
 }
 
 // scenarioRun is a scenario resolved against the sweep config, shared
 // read-only by the workers.
 type scenarioRun struct {
 	scen     Scenario
-	key      fleetKey
+	key      FleetKey
 	params   *failmodel.Params
 	variance string // resolved variance mode (EffVariance)
 }
@@ -361,14 +412,8 @@ type scenarioRun struct {
 // can never apply differently between the sweep and its self-check.
 func newScenarioRun(s Scenario, cfg Config) scenarioRun {
 	return scenarioRun{
-		scen: s,
-		key: fleetKey{
-			scale:  s.EffScale(cfg.Scale),
-			span:   s.SpanShelves,
-			skew:   s.InstallSkew,
-			churn:  s.ChurnMult,
-			sparse: s.SparseShelfFrac,
-		},
+		scen:     s,
+		key:      s.FleetKeyIn(cfg.Scale),
 		params:   s.params(),
 		variance: s.EffVariance(cfg.Variance),
 	}
@@ -377,22 +422,31 @@ func newScenarioRun(s Scenario, cfg Config) scenarioRun {
 // buildFleet constructs the scenario's population. Worker count 1:
 // sweep parallelism lives at the trial level.
 func (r *scenarioRun) buildFleet(seed int64) *fleet.Fleet {
+	return BuildFleet(r.key, seed)
+}
+
+// BuildFleet constructs the population a FleetKey identifies — the
+// exact build every trial worker performs at a scenario boundary,
+// exported so a Config.FleetSource implementation can produce the
+// canonical fleet for keys it has not cached yet. Worker count 1:
+// sweep parallelism lives at the trial level.
+func BuildFleet(key FleetKey, seed int64) *fleet.Fleet {
 	profiles := fleet.DefaultProfiles()
 	for i := range profiles {
-		if r.key.span > 0 {
-			profiles[i].SpanShelves = r.key.span
+		if key.Span > 0 {
+			profiles[i].SpanShelves = key.Span
 		}
-		if r.key.skew != 0 {
-			profiles[i].SkewInstallWindow(r.key.skew)
+		if key.Skew != 0 {
+			profiles[i].SkewInstallWindow(key.Skew)
 		}
-		if r.key.churn > 0 {
-			profiles[i].ChurnPerDiskYear *= r.key.churn
+		if key.Churn > 0 {
+			profiles[i].ChurnPerDiskYear *= key.Churn
 		}
-		if r.key.sparse > 0 {
-			profiles[i].SparseShelfFraction = r.key.sparse
+		if key.Sparse > 0 {
+			profiles[i].SparseShelfFraction = key.Sparse
 		}
 	}
-	return fleet.BuildWorkers(profiles, r.key.scale, seed, 1)
+	return fleet.BuildWorkers(profiles, key.Scale, seed, 1)
 }
 
 // trialOut is one finished trial's metric vector, tagged with its
@@ -426,6 +480,39 @@ func RunProgress(cfg Config, progress Progress) *Result {
 	return res
 }
 
+// newAggregators allocates the collector's aggregation state for one
+// sweep identity: per-scenario, per-metric Welford moments and
+// quantile reservoirs, trial-0 point vectors (NaN until trial 0 has
+// been aggregated, so a scenario whose trial 0 never ran reports a
+// null point estimate rather than a silent zero), and — when the
+// identity carries Deltas — the CRN paired-delta aggregators
+// (deltas.go), which are fed by the same ordered collector and so
+// inherit the worker-count byte determinism and checkpoint/resume
+// contracts for free. Shared by Execute and
+// CheckpointState.PartialResult, so a partial summary derived from a
+// checkpoint can never disagree with the live collector's.
+func newAggregators(ident CheckpointConfig) (onlines [][]stats.Online, reservoirs [][]*stats.Reservoir, points [][]float64, deltas *deltaAgg) {
+	nScen, nMet := len(ident.Scenarios), len(Metrics)
+	root := stats.NewRNG(ident.Seed)
+	onlines = make([][]stats.Online, nScen)
+	reservoirs = make([][]*stats.Reservoir, nScen)
+	points = make([][]float64, nScen)
+	for si := 0; si < nScen; si++ {
+		onlines[si] = make([]stats.Online, nMet)
+		reservoirs[si] = make([]*stats.Reservoir, nMet)
+		points[si] = make([]float64, nMet)
+		for mi := range Metrics {
+			rng := root.Split(streamReservoir | uint64(si)<<8 | uint64(mi)<<32)
+			reservoirs[si][mi] = stats.NewReservoir(ident.ReservoirSize, rng)
+			points[si][mi] = math.NaN()
+		}
+	}
+	if ident.Deltas {
+		deltas = newDeltaAgg(ident.Scenarios, ident.Trials, nMet)
+	}
+	return onlines, reservoirs, points, deltas
+}
+
 // Execute runs the sweep, optionally resuming from a checkpoint. The
 // crash/resume contract extends the worker-count-equivalence contract:
 // restoring a checkpoint taken at any trial boundary and running the
@@ -441,7 +528,7 @@ func RunProgress(cfg Config, progress Progress) *Result {
 // return a Partial Result with err == nil.
 func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, error) {
 	ident := checkpointIdentity(cfg)
-	trials, scens, resCap := ident.Trials, ident.Scenarios, ident.ReservoirSize
+	trials, scens := ident.Trials, ident.Scenarios
 	nScen := len(scens)
 	jobs := nScen * trials
 
@@ -450,32 +537,7 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 		runs[i] = newScenarioRun(s, cfg)
 	}
 
-	// Per-scenario, per-metric aggregators, fed only by the collector.
-	// Points start at NaN so a scenario whose trial 0 never ran (partial
-	// sweeps) reports a null point estimate rather than a silent zero.
-	nMet := len(Metrics)
-	root := stats.NewRNG(cfg.Seed)
-	onlines := make([][]stats.Online, nScen)
-	reservoirs := make([][]*stats.Reservoir, nScen)
-	points := make([][]float64, nScen)
-	for si := range runs {
-		onlines[si] = make([]stats.Online, nMet)
-		reservoirs[si] = make([]*stats.Reservoir, nMet)
-		points[si] = make([]float64, nMet)
-		for mi := range Metrics {
-			rng := root.Split(streamReservoir | uint64(si)<<8 | uint64(mi)<<32)
-			reservoirs[si][mi] = stats.NewReservoir(resCap, rng)
-			points[si][mi] = math.NaN()
-		}
-	}
-
-	// CRN paired-delta aggregators (deltas.go): fed by the same ordered
-	// collector, so the Deltas section inherits the worker-count byte
-	// determinism and checkpoint/resume contracts for free.
-	var deltas *deltaAgg
-	if cfg.Deltas {
-		deltas = newDeltaAgg(scens, trials, nMet)
-	}
+	onlines, reservoirs, points, deltas := newAggregators(ident)
 
 	startJob := 0
 	var failures []TrialFailure
@@ -503,19 +565,21 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 		workers = remaining
 	}
 
-	// stop drains the pool early: the wall-clock deadline and injected
-	// kills set it; workers check it before picking up each trial.
+	// stop drains the pool early: the wall-clock deadline, an external
+	// Interrupt, and injected kills set it; workers check it before
+	// picking up each trial.
 	var stop atomic.Bool
-	var overDeadline func() bool
+	drainNow := cfg.Interrupt
 	if cfg.MaxWall > 0 {
 		// The deadline is the one legitimate wall-clock dependency in
 		// this package: it bounds *when the sweep stops*, never any
 		// aggregated value — the completed prefix stays exact.
 		//detlint:ignore strayrand monotonic deadline only gates graceful drain; no aggregated value depends on the clock
 		start := time.Now()
-		overDeadline = func() bool {
+		interrupt := cfg.Interrupt
+		drainNow = func() bool {
 			//detlint:ignore strayrand monotonic deadline only gates graceful drain; no aggregated value depends on the clock
-			return time.Since(start) > cfg.MaxWall
+			return time.Since(start) > cfg.MaxWall || (interrupt != nil && interrupt())
 		}
 	}
 
@@ -534,12 +598,12 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			w := newTrialWorker(&cfg, runs, trials, nMet)
+			w := newTrialWorker(&cfg, runs, trials, len(Metrics))
 			for j := lo; j < hi; j++ {
 				if stop.Load() {
 					return
 				}
-				if overDeadline != nil && overDeadline() {
+				if drainNow != nil && drainNow() {
 					stop.Store(true)
 					return
 				}
@@ -570,7 +634,19 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 	pending := make(map[int]trialOut, workers)
 	next := startJob
 	ckptOrdinal := 0
+	// Checkpoint capture serves two consumers on the same cadence: the
+	// durable file behind -checkpoint/-resume, and the OnCheckpoint
+	// observer behind sweepd's in-flight partial results. Either alone
+	// enables the capture.
+	capturing := cfg.CheckpointPath != "" || cfg.OnCheckpoint != nil
 	saveCheckpoint := func() error {
+		if !capturing {
+			return nil
+		}
+		st := captureCheckpoint(ident, next, failures, onlines, reservoirs, points, deltas)
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(st)
+		}
 		if cfg.CheckpointPath == "" {
 			return nil
 		}
@@ -580,7 +656,6 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 			ord := ckptOrdinal
 			wrap = func(w io.Writer) io.Writer { return cfg.Hooks.CheckpointWriter(ord, w) }
 		}
-		st := captureCheckpoint(ident, next, failures, onlines, reservoirs, points, deltas)
 		return st.Save(cfg.CheckpointPath, wrap)
 	}
 	every := cfg.CheckpointEvery
@@ -629,7 +704,7 @@ func Execute(cfg Config, resume *CheckpointState, progress Progress) (*Result, e
 				return nil, ErrKilled
 			}
 		}
-		if cfg.CheckpointPath != "" && next-lastCkpt >= every && next < endJob {
+		if capturing && next-lastCkpt >= every && next < endJob {
 			if err := saveCheckpoint(); err != nil {
 				abort()
 				return nil, err

@@ -1,0 +1,188 @@
+package sweepd
+
+// Cross-job fleet cache. Building a fleet is the dominant fixed cost of
+// a sweep over a topology (population synthesis scales with the system
+// count), and concurrent jobs frequently sweep the same grid: every
+// scenario that doesn't override a topology knob shares one
+// sweep.FleetKey. The cache makes all of them pay for one build. It
+// plugs into the engine through Config.FleetSource, whose contract —
+// return a fleet indistinguishable from build()'s output that the
+// caller exclusively owns — it satisfies by keeping the pristine
+// as-built fleet per (FleetKey, seed) and handing every requester a
+// deep fleet.Clone. The pristine is never simulated on, so clones are
+// bit-identical to direct builds and the sweep bytes are unchanged
+// (TestFleetSourceCachedClones in internal/sweep pins this).
+//
+// Concurrency is singleflight: the first requester of a key builds
+// while later requesters of the same key block on the entry's ready
+// channel instead of duplicating the work. Memory is bounded by an LRU
+// byte budget over fleet.ApproxBytes — eviction drops the pristine
+// copy only (outstanding clones are exclusively owned, so nothing
+// shared dangles), and a re-request simply rebuilds.
+
+import (
+	"container/list"
+	"sync"
+
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sweep"
+)
+
+// DefaultCacheBytes is the fleet cache budget when Config.CacheBytes
+// is zero: 512 MiB, roughly a dozen quarter-scale fleets.
+const DefaultCacheBytes = 512 << 20
+
+// fleetCacheKey identifies one pristine build: the topology key plus
+// the sweep seed the population was synthesized from.
+type fleetCacheKey struct {
+	key  sweep.FleetKey
+	seed int64
+}
+
+// cacheEntry is one cached build. ready is closed once f is populated;
+// waiters block on it for singleflight semantics. bytes is the
+// ApproxBytes accounting charged against the budget.
+type cacheEntry struct {
+	ready chan struct{}
+	f     *fleet.Fleet
+	bytes int64
+	elem  *list.Element
+}
+
+// CacheStats counts cache traffic. Builds is the number the
+// concurrency tests probe: two jobs sweeping the same topology must
+// leave it at one.
+type CacheStats struct {
+	// Builds counts misses that constructed a fleet.
+	Builds int
+	// Hits counts requests served from a cached (possibly in-flight)
+	// build.
+	Hits int
+	// Evictions counts pristine builds dropped by the byte budget.
+	Evictions int
+}
+
+// FleetCache is the cross-job fleet cache. The zero value is not
+// usable; construct with NewFleetCache.
+type FleetCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[fleetCacheKey]*cacheEntry
+	lru     *list.List // of fleetCacheKey; front = most recent
+	stats   CacheStats
+}
+
+// NewFleetCache returns a cache bounded to budget bytes of pristine
+// fleets (ApproxBytes accounting). budget <= 0 means unbounded.
+func NewFleetCache(budget int64) *FleetCache {
+	return &FleetCache{
+		budget:  budget,
+		entries: map[fleetCacheKey]*cacheEntry{},
+		lru:     list.New(),
+	}
+}
+
+// Get returns an exclusively owned fleet for (key, seed), building the
+// pristine at most once per cached lifetime however many requesters
+// race. Its signature is exactly Config.FleetSource, so a server wires
+// it with cfg.FleetSource = cache.Get.
+func (c *FleetCache) Get(key sweep.FleetKey, seed int64, build func() *fleet.Fleet) *fleet.Fleet {
+	k := fleetCacheKey{key, seed}
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.f != nil {
+			return e.f.Clone()
+		}
+		// The build this entry was waiting on panicked and the entry was
+		// dropped; build directly — the panic will have propagated to the
+		// original requester's trial, which the retry machinery handles.
+		return build()
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(k)
+	c.entries[k] = e
+	c.stats.Builds++
+	c.mu.Unlock()
+
+	defer func() {
+		if e.f == nil {
+			// build panicked: unlink the entry so waiters and future
+			// requesters fall back to building, then let the panic
+			// propagate into the trial's quarantine/retry boundary.
+			c.mu.Lock()
+			c.dropLocked(k, e)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+	}()
+	f := build()
+	e.bytes = int64(f.ApproxBytes())
+	c.mu.Lock()
+	c.used += e.bytes
+	c.evictLocked()
+	c.mu.Unlock()
+	// Clone before publishing nothing else: the pristine is never
+	// handed out directly, so it stays bit-identical to a fresh build.
+	clone := f.Clone()
+	e.f = f
+	return clone
+}
+
+// Stats snapshots the traffic counters.
+func (c *FleetCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of cached pristine builds (in-flight included).
+func (c *FleetCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// UsedBytes reports the ApproxBytes accounting currently charged.
+func (c *FleetCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// evictLocked drops least-recently-used completed builds until the
+// budget is met. In-flight builds (bytes not yet accounted, waiters
+// parked on ready) are skipped so singleflight is never torn down
+// under its waiters. A single over-budget build is allowed to evict
+// itself once its requester has cloned — the next request rebuilds.
+func (c *FleetCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for el := c.lru.Back(); el != nil && c.used > c.budget; {
+		prev := el.Prev()
+		k := el.Value.(fleetCacheKey)
+		if e := c.entries[k]; e.bytes > 0 {
+			c.dropLocked(k, e)
+			c.stats.Evictions++
+		}
+		el = prev
+	}
+}
+
+// dropLocked unlinks an entry from the map, the LRU list, and the byte
+// accounting. Outstanding clones are unaffected. A no-op when the
+// entry was already dropped (e.g. evicted while its build was still
+// publishing), so accounting is never charged twice.
+func (c *FleetCache) dropLocked(k fleetCacheKey, e *cacheEntry) {
+	if c.entries[k] != e {
+		return
+	}
+	delete(c.entries, k)
+	c.lru.Remove(e.elem)
+	c.used -= e.bytes
+}

@@ -1,0 +1,150 @@
+package sweepd
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"storagesubsys/internal/fleet"
+	"storagesubsys/internal/sweep"
+)
+
+// tinyKey is a minimal topology for cache tests: small enough that a
+// build is milliseconds, distinct per span so tests can mint disjoint
+// keys.
+func tinyKey(span int) sweep.FleetKey {
+	return sweep.FleetKey{Scale: 0.002, Span: span}
+}
+
+// TestFleetCacheSingleflight races many requesters of one key against
+// a build function that counts invocations: the pristine must be built
+// exactly once, every requester must get its own clone, and every
+// clone must equal a direct build.
+func TestFleetCacheSingleflight(t *testing.T) {
+	c := NewFleetCache(0)
+	key := tinyKey(1)
+	var builds sync.Map
+	build := func() *fleet.Fleet {
+		n, _ := builds.LoadOrStore("n", new(int))
+		*(n.(*int))++
+		return sweep.BuildFleet(key, 42)
+	}
+
+	const requesters = 8
+	clones := make([]*fleet.Fleet, requesters)
+	var wg sync.WaitGroup
+	for i := range clones {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clones[i] = c.Get(key, 42, build)
+		}(i)
+	}
+	wg.Wait()
+
+	if st := c.Stats(); st.Builds != 1 {
+		t.Fatalf("cache stats report %d builds for one key; want 1", st.Builds)
+	}
+	n, _ := builds.Load("n")
+	if got := *(n.(*int)); got != 1 {
+		t.Fatalf("build function ran %d times; want 1 (singleflight)", got)
+	}
+	want := sweep.BuildFleet(key, 42)
+	seen := map[*fleet.Fleet]bool{}
+	for i, f := range clones {
+		if seen[f] {
+			t.Fatalf("requester %d received a fleet pointer already handed out", i)
+		}
+		seen[f] = true
+		if !reflect.DeepEqual(f, want) {
+			t.Fatalf("requester %d's clone differs from a direct build", i)
+		}
+	}
+}
+
+// TestFleetCacheHitCounting verifies the hit/build split across
+// repeated and distinct keys.
+func TestFleetCacheHitCounting(t *testing.T) {
+	c := NewFleetCache(0)
+	direct := func(key sweep.FleetKey) func() *fleet.Fleet {
+		return func() *fleet.Fleet { return sweep.BuildFleet(key, 7) }
+	}
+	c.Get(tinyKey(1), 7, direct(tinyKey(1)))
+	c.Get(tinyKey(1), 7, direct(tinyKey(1)))
+	c.Get(tinyKey(2), 7, direct(tinyKey(2)))
+	st := c.Stats()
+	if st.Builds != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v; want 2 builds, 1 hit", st)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries; want 2", c.Len())
+	}
+}
+
+// TestFleetCacheSeedSeparation: same topology under different sweep
+// seeds must be distinct cache entries — the populations differ.
+func TestFleetCacheSeedSeparation(t *testing.T) {
+	c := NewFleetCache(0)
+	key := tinyKey(1)
+	a := c.Get(key, 1, func() *fleet.Fleet { return sweep.BuildFleet(key, 1) })
+	b := c.Get(key, 2, func() *fleet.Fleet { return sweep.BuildFleet(key, 2) })
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("stats report %d builds for two seeds; want 2", st.Builds)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different sweep seeds produced equal fleets; seed is not separating cache entries")
+	}
+}
+
+// TestFleetCacheLRUEviction fills a budget sized for two fleets with
+// three keys, touching the first in between: the untouched middle key
+// must be the one evicted, and evicted entries must be rebuilt on
+// re-request while outstanding clones stay usable.
+func TestFleetCacheLRUEviction(t *testing.T) {
+	one := sweep.BuildFleet(tinyKey(1), 42)
+	budget := int64(one.ApproxBytes())*2 + int64(one.ApproxBytes())/2
+	c := NewFleetCache(budget)
+	get := func(span int) *fleet.Fleet {
+		key := tinyKey(span)
+		return c.Get(key, 42, func() *fleet.Fleet { return sweep.BuildFleet(key, 42) })
+	}
+
+	get(1)
+	get(2)
+	get(1) // key 1 now most-recent; key 2 is LRU
+	evictee := get(2)
+	_ = get(3) // over budget: evicts key 1? no — key 2 was just touched; key 1 is LRU
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a two-fleet budget with three keys; stats = %+v", st)
+	}
+	if c.UsedBytes() > budget {
+		t.Fatalf("cache holds %d bytes over the %d budget", c.UsedBytes(), budget)
+	}
+	// The clone handed out before eviction is exclusively owned and
+	// unaffected by the pristine being dropped.
+	if !reflect.DeepEqual(evictee, sweep.BuildFleet(tinyKey(2), 42)) {
+		t.Fatal("clone handed out before eviction no longer matches a direct build")
+	}
+	// A re-request of an evicted key is a fresh build, not a hit.
+	before := c.Stats().Builds
+	get(1)
+	if c.Stats().Builds == before {
+		t.Fatal("re-request of an evicted key did not rebuild")
+	}
+}
+
+// TestFleetCacheUnboundedNeverEvicts pins budget <= 0 as "no budget".
+func TestFleetCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewFleetCache(0)
+	for span := 1; span <= 4; span++ {
+		key := tinyKey(span)
+		c.Get(key, 42, func() *fleet.Fleet { return sweep.BuildFleet(key, 42) })
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", st.Evictions)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("unbounded cache holds %d entries; want 4", c.Len())
+	}
+}
